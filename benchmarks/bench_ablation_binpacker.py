@@ -1,0 +1,90 @@
+"""Ablation (§4): the optional bin-packer.
+
+Paper claims to reproduce: without the bin-packer, large numbers of
+(near-)identical flex-offers collapse into single aggregates, destroying the
+ability to schedule them separately; bin-packer bounds cap aggregate sizes at
+a controlled compression cost.  Also compares incremental maintenance against
+from-scratch re-aggregation (the paper's incremental-update motivation).
+"""
+
+import time
+
+import numpy as np
+
+from repro.aggregation import (
+    AggregationPipeline,
+    BinPackerBounds,
+    GroupBuilder,
+    NToOneAggregator,
+    P2,
+    FlexOfferUpdate,
+)
+from repro.datagen import paper_dataset
+from repro.experiments import print_table, scale_factor
+
+
+def test_binpacker_caps_aggregate_size(once):
+    def experiment():
+        offers = paper_dataset(int(20_000 * scale_factor()), seed=1, n_days=2)
+        rows = []
+        results = {}
+        for label, bounds in (
+            ("off", None),
+            ("max-50", BinPackerBounds("count", maximum=50)),
+            ("max-10", BinPackerBounds("count", maximum=10)),
+        ):
+            pipeline = AggregationPipeline(P2, bounds)
+            pipeline.submit_inserts(offers)
+            pipeline.run()
+            aggregates = pipeline.aggregates
+            largest = max(a.member_count for a in aggregates)
+            rows.append([label, len(aggregates), largest])
+            results[label] = (len(aggregates), largest)
+        print_table(
+            "§4 ablation: bin-packer bounds",
+            ["bin_packer", "aggregates", "largest_aggregate"],
+            rows,
+        )
+        return results
+
+    results = once(experiment)
+    assert results["off"][1] > 50  # identical offers collapse without bounds
+    assert results["max-50"][1] <= 50
+    assert results["max-10"][1] <= 10
+    assert results["max-10"][0] > results["max-50"][0] > results["off"][0]
+
+
+def test_incremental_beats_from_scratch(once):
+    """Incremental maintenance amortises updates that from-scratch re-runs pay
+    in full — the paper's reason for supporting incremental aggregation."""
+
+    def experiment():
+        offers = paper_dataset(int(20_000 * scale_factor()), seed=2)
+        chunks = [offers[i : i + 2000] for i in range(0, len(offers), 2000)]
+
+        def run(incremental: bool) -> float:
+            builder = GroupBuilder(P2)
+            aggregator = NToOneAggregator(incremental=incremental)
+            elapsed = 0.0
+            for chunk in chunks:
+                builder.accumulate_all(FlexOfferUpdate.insert(o) for o in chunk)
+                t0 = time.perf_counter()
+                if incremental:
+                    aggregator.process(builder.flush())
+                else:
+                    builder.flush()
+                    aggregator.rebuild(builder.groups())
+                elapsed += time.perf_counter() - t0
+            return elapsed
+
+        incremental_s = run(incremental=True)
+        scratch_s = run(incremental=False)
+        print_table(
+            "§4 ablation: incremental vs from-scratch maintenance",
+            ["mode", "time_s"],
+            [["incremental", incremental_s], ["from-scratch", scratch_s]],
+        )
+        return incremental_s, scratch_s
+
+    incremental_s, scratch_s = once(experiment)
+    assert incremental_s < scratch_s

@@ -1,0 +1,39 @@
+"""Ablations on the scheduling research directions (§6).
+
+* start-time flexibility: the solution space grows exponentially with the
+  offers' time flexibility, yet achievable cost falls — flexibility pays for
+  its own search cost;
+* hybrid EA: seeding the evolutionary algorithm with one greedy pass closes
+  (most of) the gap to greedy search at the same budget.
+"""
+
+from repro.experiments.ablations import (
+    run_flexibility_influence,
+    run_hybrid_scheduling,
+    run_price_grouping,
+)
+
+
+def test_flexibility_influence(once):
+    points = once(
+        run_flexibility_influence, flexibilities=[0, 8, 24], budget_seconds=0.7
+    )
+    by_tf = {p.time_flexibility: p for p in points}
+    # search space explodes with flexibility
+    assert by_tf[24].solution_space > by_tf[8].solution_space > by_tf[0].solution_space
+    # ...but flexibility buys lower cost despite the larger space
+    assert by_tf[24].best_cost < by_tf[0].best_cost
+
+
+def test_hybrid_ea_beats_pure_ea(once):
+    costs = once(run_hybrid_scheduling, n_offers=300, budget_seconds=1.5)
+    assert costs["hybrid-ea"] <= costs["pure-ea"]
+    # the hybrid lands at (or below) greedy level: the seed survives elitism
+    assert costs["hybrid-ea"] <= costs["greedy"] * 1.02
+
+
+def test_price_aware_grouping(once):
+    counts = once(run_price_grouping, n_offers=10_000)
+    # refusing to mix tariffs costs compression, bounded by the tariff count
+    assert counts["price-exact"] > counts["price-blind"]
+    assert counts["price-exact"] <= 3.5 * counts["price-blind"]

@@ -1,0 +1,28 @@
+"""Figure 4(b): forecast accuracy vs horizon for demand and wind supply.
+
+Paper claims to reproduce: error grows with the forecast horizon; very high
+accuracy at horizons of a few hours; the supply series degrades much faster
+than demand (less seasonal structure, no external weather input used).
+"""
+
+from repro.experiments import run_fig4b
+
+
+def test_fig4b_accuracy_vs_horizon(once):
+    result = once(run_fig4b)
+
+    demand = result.demand_errors
+    supply = result.supply_errors
+    horizons = sorted(demand)
+
+    # high short-horizon accuracy
+    assert demand[horizons[0]] < 0.03
+    # error grows with horizon (allow small non-monotonic wiggle at the tail)
+    assert demand[horizons[-1]] > demand[horizons[0]]
+    assert supply[horizons[-1]] > supply[horizons[0]]
+    # supply degrades much faster than demand at every horizon
+    for h in horizons:
+        assert supply[h] > demand[h]
+    growth_supply = supply[horizons[-1]] - supply[horizons[0]]
+    growth_demand = demand[horizons[-1]] - demand[horizons[0]]
+    assert growth_supply > 2 * growth_demand

@@ -1,0 +1,31 @@
+"""Figure 5(b): cumulative aggregation time vs flex-offer count for P0-P3.
+
+Paper claims to reproduce: aggregation time grows roughly linearly with the
+offer count; the combinations that tolerate start-after variation (P2, P3)
+aggregate more slowly because their aggregate profiles carry more intervals
+to traverse on every insert.
+"""
+
+from repro.experiments import run_fig5, scale_factor
+
+
+def test_fig5b_aggregation_time(once):
+    result = once(
+        run_fig5,
+        total_offers=int(60_000 * scale_factor()),
+        measure_disaggregation=False,
+    )
+
+    final = {c: result.series(c)[-1] for c in ("P0", "P1", "P2", "P3")}
+    # start-after tolerance slows aggregation down (P2/P3 vs P0/P1)
+    fast = min(final["P0"].aggregation_time_s, final["P1"].aggregation_time_s)
+    assert final["P2"].aggregation_time_s > fast
+    assert final["P3"].aggregation_time_s > fast
+
+    # roughly linear growth: doubling the count less than ~quadruples time
+    for combo in ("P0", "P2"):
+        series = result.series(combo)
+        mid, last = series[len(series) // 2], series[-1]
+        ratio = last.aggregation_time_s / max(mid.aggregation_time_s, 1e-9)
+        count_ratio = last.offer_count / mid.offer_count
+        assert ratio < count_ratio**2

@@ -1,0 +1,31 @@
+"""Figure 5(c): time-flexibility loss per flex-offer for P0-P3.
+
+Paper claims to reproduce: P0 loses nothing (identical attributes); P2 stays
+low (identical time-flexibility values — exactly zero under our conservative
+aggregation); P1 loses noticeably (time-flexibility tolerance); P3 loses the
+most.
+"""
+
+from repro.experiments import run_fig5, scale_factor
+
+
+def test_fig5c_flexibility_loss(once):
+    result = once(
+        run_fig5,
+        total_offers=int(60_000 * scale_factor()),
+        measure_disaggregation=False,
+    )
+
+    final = {c: result.series(c)[-1] for c in ("P0", "P1", "P2", "P3")}
+    assert final["P0"].flexibility_loss_per_offer == 0.0
+    assert final["P2"].flexibility_loss_per_offer <= 0.01  # "low"
+    assert final["P1"].flexibility_loss_per_offer > 1.0  # "increased"
+    assert (
+        final["P3"].flexibility_loss_per_offer
+        >= final["P1"].flexibility_loss_per_offer
+    )
+    # loss is bounded by the grouping tolerance by construction
+    from repro.aggregation.thresholds import SMALL_TOLERANCE
+
+    for combo in ("P1", "P3"):
+        assert final[combo].flexibility_loss_per_offer <= SMALL_TOLERANCE

@@ -1,0 +1,28 @@
+"""Figure 5(d): disaggregation time vs aggregation time.
+
+Paper claims to reproduce: disaggregation is substantially faster than
+aggregation regardless of flex-offer count and threshold settings (the paper
+fits y ≈ 0.36 x − 0.68, i.e. roughly 3× faster).
+"""
+
+from repro.experiments import run_fig5, scale_factor
+
+
+def test_fig5d_disaggregation_time(once):
+    result = once(
+        run_fig5,
+        total_offers=int(60_000 * scale_factor()),
+        measure_disaggregation=True,
+    )
+
+    pairs = [
+        (p.aggregation_time_s, p.disaggregation_time_s)
+        for p in result.points
+        if p.disaggregation_time_s == p.disaggregation_time_s
+    ]
+    assert len(pairs) == 4  # one per threshold combination
+    # disaggregation faster than aggregation for every combination
+    for aggregation_time, disaggregation_time in pairs:
+        assert disaggregation_time < aggregation_time
+    # overall slope clearly below 1 (paper: 0.36)
+    assert result.disaggregation_slope < 0.95

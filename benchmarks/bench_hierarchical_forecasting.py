@@ -1,0 +1,22 @@
+"""Ablation (§5): the hierarchical-forecasting configuration advisor.
+
+Paper claims to reproduce: forecast models need not exist at every node —
+aggregating child forecasts can replace a parent's own model; the advisor
+finds a configuration meeting accuracy/runtime (here: model-count)
+constraints.
+"""
+
+from repro.experiments.hierarchy_forecasting import run_hierarchy_forecasting
+
+
+def test_advisor_meets_model_budget(once):
+    study = once(run_hierarchy_forecasting)
+
+    # the advisor respects the model budget and never does worse at the root
+    # than both reference configurations
+    assert study.advised_count <= study.leaves_only_count + 1
+    best_reference = min(study.all_models_error, study.leaves_only_error)
+    assert study.advised_error <= best_reference + 1e-9
+    # aggregating exact child sums is competitive: leaves-only stays within
+    # 2x of models-everywhere at the root
+    assert study.leaves_only_error <= 2.0 * study.all_models_error + 0.01

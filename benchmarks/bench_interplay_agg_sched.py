@@ -1,0 +1,29 @@
+"""Ablation (§8): the aggregation ↔ scheduling two-dimensional trade-off.
+
+Paper claims to reproduce: more aggressive aggregation costs somewhat more
+aggregation time but saves (much) more scheduling time, at the price of
+flexibility loss — so total time falls while achievable cost rises as the
+tolerances grow.
+"""
+
+from repro.experiments import run_aggregation_scheduling_interplay, scale_factor
+
+
+def test_aggregation_scheduling_tradeoff(once):
+    points = once(
+        run_aggregation_scheduling_interplay,
+        n_offers=int(3000 * scale_factor()),
+        tolerances=[0, 16, 96],
+    )
+
+    by_tol = {p.tolerance: p for p in points}
+    # compression monotone in the tolerance
+    assert by_tol[0].aggregate_count > by_tol[16].aggregate_count > by_tol[96].aggregate_count
+    # scheduling time falls sharply with compression
+    assert by_tol[96].scheduling_time_s < by_tol[0].scheduling_time_s
+    # total (aggregation + scheduling) time falls too — the paper's point
+    assert by_tol[96].total_time_s < by_tol[0].total_time_s
+    # flexibility loss is the price
+    assert by_tol[96].flexibility_loss_per_offer > by_tol[0].flexibility_loss_per_offer
+    # and it shows in achievable schedule cost
+    assert by_tol[96].schedule_cost >= by_tol[0].schedule_cost

@@ -1,0 +1,33 @@
+"""Ablations (§§5+8): forecast error vs schedule cost, and pub-sub savings.
+
+Paper claims to reproduce: worse forecasts yield worse realised schedules
+(the forecasting ↔ scheduling interplay), and publish-subscribe forecast
+queries suppress most notifications at modest significance thresholds —
+sparing the scheduler "computationally expensive maintenance of schedules".
+"""
+
+from repro.experiments import (
+    run_forecast_scheduling_interplay,
+    run_pubsub_savings,
+)
+
+
+def test_forecast_error_inflates_schedule_cost(once):
+    points = once(
+        run_forecast_scheduling_interplay,
+        noise_fractions=[0.0, 0.1, 0.4],
+    )
+    by_noise = {p.noise_fraction: p for p in points}
+    assert by_noise[0.0].regret <= 1e-6
+    assert by_noise[0.4].realised_cost > by_noise[0.0].realised_cost
+    assert by_noise[0.4].regret > by_noise[0.1].regret - 1e-9
+
+
+def test_pubsub_suppresses_notifications(once):
+    rates = once(run_pubsub_savings, thresholds=[0.0, 0.01, 0.05])
+    # threshold 0 notifies on every measurement
+    assert rates[0.0] >= 0.99
+    # a 1% significance threshold already drops most notifications
+    assert rates[0.01] < 0.5
+    # rates fall monotonically with the threshold
+    assert rates[0.05] <= rates[0.01] <= rates[0.0]

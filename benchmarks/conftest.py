@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's figures/tables via the
+harnesses in :mod:`repro.experiments` and prints the same rows the paper
+plots.  Experiments are full end-to-end runs, so each executes exactly once
+(``pedantic`` with one round) — we are measuring the experiment, not
+micro-timing a function.
+
+Scale with ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=8`` runs the aggregation
+experiment at the paper's 800 000-offer scale).
+"""
+
+import pytest
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Replay every experiment table after the benchmark summary.
+
+    pytest captures stdout per test; this hook makes the figure rows land in
+    ``bench_output.txt`` next to the timing table.
+    """
+    from repro.experiments.reporting import session_tables
+
+    tables = session_tables()
+    if not tables:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 70)
+    terminalreporter.write_line("Reproduced figure/table rows (see EXPERIMENTS.md)")
+    terminalreporter.write_line("=" * 70)
+    for text in tables:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

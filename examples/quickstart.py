@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: the MIRABEL pipeline in 60 lines.
+
+Creates a handful of flex-offers, aggregates them, schedules the aggregates
+against a net-load forecast with a midday RES surplus, disaggregates the
+schedule back to the individual offers, and prices the flexibility.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import TimeSeries, flex_offer
+from repro.aggregation import P2, aggregate_from_scratch, disaggregate
+from repro.negotiation import MonetizeFlexibilityPolicy
+from repro.scheduling import Market, RandomizedGreedyScheduler, SchedulingProblem
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # --- 1. micro flex-offers: 2 h blocks, shiftable by up to 6 h ---------
+    offers = []
+    for _ in range(200):
+        earliest = int(rng.integers(0, 60))
+        offers.append(
+            flex_offer(
+                [(0.5, 1.5)] * 8,  # 8 × 15-min slices, 0.5-1.5 kWh each
+                earliest_start=earliest,
+                latest_start=earliest + int(rng.integers(0, 25)),
+                unit_price=0.02,
+            )
+        )
+
+    # --- 2. aggregation: group similar offers into macro flex-offers ------
+    aggregates = aggregate_from_scratch(offers, P2)
+    print(f"aggregated {len(offers)} micro offers -> {len(aggregates)} macro offers")
+
+    # --- 3. scheduling against a forecast with a midday wind surplus ------
+    t = np.arange(96)
+    net_forecast = 120.0 - 400.0 * np.exp(-0.5 * ((t - 48) / 8.0) ** 2)
+    market = Market(
+        np.full(96, 0.20), np.full(96, 0.05), max_sell=np.full(96, 20.0)
+    )
+    problem = SchedulingProblem(TimeSeries(0, net_forecast), tuple(aggregates), market)
+
+    baseline_cost = problem.cost(problem.minimum_solution())
+    result = RandomizedGreedyScheduler().schedule(problem, max_passes=10, rng=rng)
+    print(f"schedule cost: {result.cost:,.1f} EUR (naive baseline {baseline_cost:,.1f} EUR)")
+
+    # --- 4. disaggregation: every micro offer gets its own schedule -------
+    schedule = problem.to_schedule(result.solution)
+    micro_schedules = [m for agg in schedule for m in disaggregate(agg)]
+    print(f"disaggregated into {len(micro_schedules)} micro schedules")
+    sample = micro_schedules[0]
+    print(
+        f"  e.g. offer {sample.offer.offer_id}: start slice {sample.start}, "
+        f"total {sample.total_energy:.2f} kWh"
+    )
+
+    # --- 5. negotiation: what is that flexibility worth? -------------------
+    pricing = MonetizeFlexibilityPolicy()
+    value = sum(pricing.value(o, now=0) for o in offers)
+    print(f"total ex-ante flexibility value: {value:.1f} EUR across {len(offers)} offers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so that ``pip install -e .`` works in offline environments without the
+``wheel`` package (PEP 660 editable builds need it; ``setup.py develop`` does
+not).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

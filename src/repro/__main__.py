@@ -1,0 +1,98 @@
+"""Command-line entry point: regenerate paper experiments.
+
+Usage::
+
+    python -m repro list                # available experiments
+    python -m repro fig5                # one experiment
+    python -m repro all                 # everything (a few minutes)
+    REPRO_SCALE=8 python -m repro fig5  # paper-scale aggregation run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .experiments import (
+    run_aggregation_scheduling_interplay,
+    run_balancing,
+    run_exhaustive,
+    run_fig4a,
+    run_fig4b,
+    run_fig5,
+    run_fig6,
+    run_forecast_scheduling_interplay,
+    run_pubsub_savings,
+)
+from .experiments.ablations import (
+    run_flexibility_influence,
+    run_hybrid_scheduling,
+    run_price_grouping,
+)
+from .experiments.hierarchy_forecasting import run_hierarchy_forecasting
+
+EXPERIMENTS: dict[str, tuple[Callable[[], object], str]] = {
+    "fig4a": (run_fig4a, "estimator accuracy vs estimation time (Fig. 4a)"),
+    "fig4b": (run_fig4b, "forecast accuracy vs horizon, demand vs wind (Fig. 4b)"),
+    "fig5": (run_fig5, "aggregation: compression / time / loss / disagg (Fig. 5)"),
+    "fig6": (run_fig6, "scheduling cost over time, GS vs EA (Fig. 6)"),
+    "exhaustive": (run_exhaustive, "exhaustive optimum vs metaheuristics (§6)"),
+    "balancing": (run_balancing, "end-to-end balancing day (Fig. 1)"),
+    "interplay-agg": (
+        run_aggregation_scheduling_interplay,
+        "aggregation thresholds vs scheduling (§8)",
+    ),
+    "interplay-forecast": (
+        run_forecast_scheduling_interplay,
+        "forecast error vs schedule cost (§8)",
+    ),
+    "pubsub": (run_pubsub_savings, "publish-subscribe notification savings (§5)"),
+    "hierarchy": (
+        run_hierarchy_forecasting,
+        "hierarchical forecasting advisor (§5)",
+    ),
+    "flexibility": (
+        run_flexibility_influence,
+        "start-time flexibility vs scheduling difficulty (§6 direction)",
+    ),
+    "hybrid": (run_hybrid_scheduling, "greedy-seeded hybrid EA (§6 direction)"),
+    "price-grouping": (
+        run_price_grouping,
+        "price-aware aggregation grouping (§4 direction)",
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected experiment(s); returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate experiments from the MIRABEL paper (see "
+        "EXPERIMENTS.md for the paper-vs-measured discussion).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "list"],
+        help="experiment id, 'all', or 'list'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    selected = (
+        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for name in selected:
+        runner, description = EXPERIMENTS[name]
+        print(f"\n### {name}: {description}")
+        runner()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Flex-offer aggregation (paper §4).
+
+Public API::
+
+    from repro.aggregation import (
+        AggregationParameters, P0, P1, P2, P3,
+        AggregationPipeline, aggregate_from_scratch,
+        aggregate_group, disaggregate,
+        BinPacker, BinPackerBounds,
+        evaluate_aggregation,
+    )
+"""
+
+from .aggregator import (
+    AggregatedFlexOffer,
+    NToOneAggregator,
+    aggregate_group,
+    disaggregate,
+)
+from .binpacking import BinPacker, BinPackerBounds
+from .grouping import GroupBuilder
+from .metrics import AggregationQuality, evaluate_aggregation
+from .pipeline import AggregationPipeline, aggregate_from_scratch
+from .thresholds import P0, P1, P2, P3, AggregationParameters, paper_combinations
+from .updates import AggregateUpdate, FlexOfferUpdate, GroupUpdate, UpdateKind
+
+__all__ = [
+    "AggregatedFlexOffer",
+    "NToOneAggregator",
+    "aggregate_group",
+    "disaggregate",
+    "BinPacker",
+    "BinPackerBounds",
+    "GroupBuilder",
+    "AggregationQuality",
+    "evaluate_aggregation",
+    "AggregationPipeline",
+    "aggregate_from_scratch",
+    "AggregationParameters",
+    "paper_combinations",
+    "P0",
+    "P1",
+    "P2",
+    "P3",
+    "AggregateUpdate",
+    "FlexOfferUpdate",
+    "GroupUpdate",
+    "UpdateKind",
+]

@@ -1,0 +1,363 @@
+"""N-to-1 aggregator: builds macro flex-offers and disaggregates schedules.
+
+The aggregator (paper §4) turns a group of similar flex-offers into **one**
+aggregated flex-offer whose internal constraints are produced conservatively:
+
+1. every member profile is *aligned at its own earliest start time* — member
+   ``i`` contributes to the aggregate profile at offset
+   ``earliest_start_i - earliest_start_agg``, so the aggregate profile can be
+   longer than any member profile when earliest starts differ (this is why
+   the paper's P2/P3 combinations traverse "energy profiles with increased
+   number of intervals");
+2. per-slice energy bounds are the **sums** of overlapping member bounds;
+3. the aggregate's time flexibility is the **minimum** member time
+   flexibility, so shifting the aggregate by any admissible δ shifts every
+   member by δ without violating its window.
+
+This construction satisfies the paper's *disaggregation requirement* by
+design: any schedule of the aggregate maps back to a valid schedule of every
+member (start = member earliest start + δ; energies split proportionally
+within each member's range).
+
+:class:`NToOneAggregator` maintains aggregates *incrementally*: adding
+members to an existing group updates the group's running profile arrays
+instead of re-aggregating from scratch, exactly the optimisation the paper
+highlights ("aggregated flex-offers can be incrementally updated to avoid a
+from-scratch re-computation").  Pass ``incremental=False`` to get the
+from-scratch behaviour for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.errors import AggregationError, DisaggregationError
+from ..core.flexoffer import EnergyConstraint, FlexOffer, Profile, _next_id
+from ..core.schedule import ScheduledFlexOffer
+from .updates import AggregateUpdate, GroupUpdate, UpdateKind
+
+__all__ = ["AggregatedFlexOffer", "NToOneAggregator", "aggregate_group", "disaggregate"]
+
+_ENERGY_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class AggregatedFlexOffer(FlexOffer):
+    """A macro flex-offer carrying its members and their profile offsets.
+
+    ``offsets[i]`` is the position of member ``i``'s first profile slice
+    within the aggregate profile (``members[i].earliest_start -
+    self.earliest_start``).
+    """
+
+    members: tuple[FlexOffer, ...] = ()
+    offsets: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Explicit base call: dataclass(slots=True) recreates the class, which
+        # breaks the zero-argument super() inside methods defined before that.
+        FlexOffer.__post_init__(self)
+        if len(self.members) != len(self.offsets):
+            raise AggregationError("members and offsets must have equal length")
+        if not self.members:
+            raise AggregationError("an aggregate needs at least one member")
+
+    @property
+    def member_count(self) -> int:
+        """Number of micro flex-offers folded into this aggregate."""
+        return len(self.members)
+
+    @property
+    def time_flexibility_loss(self) -> int:
+        """Total time flexibility lost by members (paper Fig. 5(c) metric).
+
+        Each member loses ``member.time_flexibility - aggregate
+        time_flexibility`` slices of shifting freedom.
+        """
+        tf = self.time_flexibility
+        return sum(m.time_flexibility - tf for m in self.members)
+
+
+class _GroupState:
+    """Running aggregation state of one group.
+
+    The per-slice bounds are kept as an **immutable tuple** that is rebuilt
+    on every insertion — the aggregate's profile is traversed once per added
+    flex-offer, which is the cost model behind the paper's observation that
+    threshold combinations with start-after variation (P2/P3) aggregate more
+    slowly: their aggregate profiles have "an increased number of intervals"
+    to traverse on every insert.  In exchange, snapshots for lazily
+    materialised updates are O(1).
+
+    Removals rebuild from the remaining members (they may raise the group's
+    minimum time flexibility, which cannot be undone incrementally).
+    """
+
+    __slots__ = ("members", "est", "bounds")
+
+    _ZERO = EnergyConstraint(0.0, 0.0)
+
+    def __init__(self) -> None:
+        self.members: dict[int, FlexOffer] = {}
+        self.est = 0
+        self.bounds: tuple[EnergyConstraint, ...] = ()
+
+    def add(self, offer: FlexOffer) -> None:
+        if offer.offer_id in self.members:
+            raise AggregationError(
+                f"flex-offer {offer.offer_id} already in this aggregate"
+            )
+        if not self.members:
+            self.est = offer.earliest_start
+            lead = 0
+        else:
+            lead = max(0, self.est - offer.earliest_start)
+            self.est = min(self.est, offer.earliest_start)
+
+        offset = offer.earliest_start - self.est
+        profile = offer.profile
+        duration = len(profile)
+        old = (self._ZERO,) * lead + self.bounds
+        n_old = len(old)
+        length = max(n_old, offset + duration)
+
+        # Conservative per-slice bounds are value objects and the aggregate
+        # profile is rebuilt slice by slice on every insert — the traversal
+        # "every time a new flex-offer has to be aggregated" of paper §9.
+        zero = self._ZERO
+        new_bounds: list[EnergyConstraint] = []
+        append = new_bounds.append
+        for k in range(length):
+            c = old[k] if k < n_old else zero
+            if offset <= k < offset + duration:
+                m = profile[k - offset]
+                append(
+                    EnergyConstraint(
+                        c.min_energy + m.min_energy, c.max_energy + m.max_energy
+                    )
+                )
+            else:
+                append(EnergyConstraint(c.min_energy, c.max_energy))
+        self.bounds = tuple(new_bounds)
+        self.members[offer.offer_id] = offer
+
+    def remove(self, offer_id: int) -> None:
+        if offer_id not in self.members:
+            raise AggregationError(f"flex-offer {offer_id} not in this aggregate")
+        remaining = [o for oid, o in self.members.items() if oid != offer_id]
+        self.members.clear()
+        self.bounds = ()
+        for offer in remaining:
+            self.add(offer)
+
+    def snapshot(
+        self,
+    ) -> tuple[tuple[FlexOffer, ...], int, tuple[EnergyConstraint, ...]]:
+        """O(members) snapshot; the bounds tuple is immutable and shared."""
+        return tuple(self.members.values()), self.est, self.bounds
+
+    def build(self, offer_id: int) -> AggregatedFlexOffer:
+        """Materialise the immutable aggregated flex-offer (O(profile))."""
+        members, est, bounds = self.snapshot()
+        return _build_aggregate(members, est, bounds, offer_id)
+
+
+def _build_aggregate(
+    members: tuple[FlexOffer, ...],
+    est: int,
+    bounds: tuple[EnergyConstraint, ...],
+    offer_id: int,
+) -> AggregatedFlexOffer:
+    """Construct the immutable aggregate from a state snapshot."""
+    if not members:
+        raise AggregationError("cannot build an aggregate from no members")
+    time_flex = min(o.time_flexibility for o in members)
+    length = max((o.earliest_start - est) + o.duration for o in members)
+    profile = Profile(bounds[:length])
+    deadlines = [
+        o.assignment_before for o in members if o.assignment_before is not None
+    ]
+    creation = min(min(o.creation_time for o in members), est)
+    # The aggregate's deadline is the tightest member deadline, but never
+    # beyond its own (possibly reduced) latest start.
+    deadline = min(min(deadlines), est + time_flex) if deadlines else None
+    return AggregatedFlexOffer(
+        profile=profile,
+        earliest_start=est,
+        latest_start=est + time_flex,
+        offer_id=offer_id,
+        owner="aggregate",
+        creation_time=creation,
+        assignment_before=deadline,
+        unit_price=float(np.mean([o.unit_price for o in members])),
+        members=members,
+        offsets=tuple(o.earliest_start - est for o in members),
+    )
+
+
+def aggregate_group(
+    offers: Sequence[FlexOffer],
+    *,
+    offer_id: int | None = None,
+) -> AggregatedFlexOffer:
+    """Aggregate a group of flex-offers into a single macro flex-offer.
+
+    The group must be non-empty; callers are responsible for grouping only
+    *similar* offers (the group-builder's job) — correctness (the
+    disaggregation requirement) holds for any group, but flexibility loss and
+    profile length degrade when dissimilar offers are mixed.
+    """
+    if not offers:
+        raise AggregationError("cannot aggregate an empty group")
+    state = _GroupState()
+    for offer in offers:
+        state.add(offer)
+    return state.build(offers[0].offer_id if offer_id is None else offer_id)
+
+
+def disaggregate(scheduled: ScheduledFlexOffer) -> list[ScheduledFlexOffer]:
+    """Convert a scheduled aggregate into scheduled member flex-offers.
+
+    The inverse of :func:`aggregate_group`; guaranteed to succeed for
+    schedules respecting the aggregate's constraints (the *disaggregation
+    requirement*).  Per-slice energy is distributed proportionally: if the
+    aggregate slice was scheduled at fraction ``f`` of its ``[min, max]``
+    range, every member slice is scheduled at fraction ``f`` of its own range,
+    which reproduces the aggregate energy exactly and respects member bounds.
+    """
+    aggregate = scheduled.offer
+    if not isinstance(aggregate, AggregatedFlexOffer):
+        raise DisaggregationError(
+            f"offer {aggregate.offer_id} is not an AggregatedFlexOffer"
+        )
+
+    delta = scheduled.start - aggregate.earliest_start
+    fractions = _slice_fractions(aggregate, scheduled.energies)
+
+    out: list[ScheduledFlexOffer] = []
+    for member, offset in zip(aggregate.members, aggregate.offsets):
+        start = member.earliest_start + delta
+        energies = tuple(
+            c.min_energy + fractions[offset + k] * c.energy_flexibility
+            for k, c in enumerate(member.profile)
+        )
+        out.append(ScheduledFlexOffer(member, start, energies))
+    return out
+
+
+def _slice_fractions(
+    aggregate: AggregatedFlexOffer, energies: Sequence[float]
+) -> list[float]:
+    """Per-slice position of the scheduled energy within its [min, max] range."""
+    fractions: list[float] = []
+    for k, constraint in enumerate(aggregate.profile):
+        width = constraint.energy_flexibility
+        if width <= _ENERGY_EPS:
+            if abs(energies[k] - constraint.min_energy) > 1e-6:
+                raise DisaggregationError(
+                    f"scheduled energy {energies[k]} deviates from the fixed "
+                    f"amount {constraint.min_energy} in slice {k}"
+                )
+            fractions.append(0.0)
+        else:
+            f = (energies[k] - constraint.min_energy) / width
+            fractions.append(min(1.0, max(0.0, f)))
+    return fractions
+
+
+class NToOneAggregator:
+    """Maintains one aggregate per (sub-)group.
+
+    Consumes :class:`GroupUpdate` streams (from the group-builder or the
+    bin-packer) and produces :class:`AggregateUpdate` streams.
+
+    With ``incremental=True`` (the default, and the paper's design) the
+    aggregator keeps per-group running profile sums, so adding members costs
+    time proportional to the new members' profiles plus one rebuild of the
+    aggregate object — not to the whole group.  With ``incremental=False``
+    every modification re-aggregates the group from scratch.
+    """
+
+    def __init__(self, *, incremental: bool = True) -> None:
+        self.incremental = incremental
+        self._states: dict[str, _GroupState] = {}
+
+    @property
+    def aggregate_count(self) -> int:
+        """Number of aggregates currently maintained."""
+        return len(self._states)
+
+    def aggregates(self) -> list[AggregatedFlexOffer]:
+        """Materialise all current aggregated flex-offers."""
+        return [
+            state.build(self._take_id()) for state in self._states.values()
+        ]
+
+    def process(self, updates: Iterable[GroupUpdate]) -> list[AggregateUpdate]:
+        """Apply group updates; return the resulting aggregate updates.
+
+        Emitted updates materialise their aggregate lazily from a snapshot
+        taken here, so the maintenance cost per update stays proportional to
+        the change, not to the aggregate object.
+        """
+        out: list[AggregateUpdate] = []
+        for update in updates:
+            gid = update.group_id
+            if update.kind is UpdateKind.DELETED or not update.offers:
+                state = self._states.pop(gid, None)
+                if state is None:
+                    raise AggregationError(f"deleting unknown group {gid}")
+                out.append(
+                    AggregateUpdate(
+                        UpdateKind.DELETED, gid, self._deferred(state)
+                    )
+                )
+                continue
+
+            existed = gid in self._states
+            if self.incremental:
+                state = self._apply_incremental(gid, update.offers)
+            else:
+                state = _GroupState()
+                for offer in update.offers:
+                    state.add(offer)
+                self._states[gid] = state
+            kind = UpdateKind.MODIFIED if existed else UpdateKind.CREATED
+            out.append(AggregateUpdate(kind, gid, self._deferred(state)))
+        return out
+
+    def rebuild(self, groups: dict[str, tuple[FlexOffer, ...]]) -> list[AggregateUpdate]:
+        """From-scratch recomputation over a full group snapshot."""
+        self._states.clear()
+        return self.process(
+            GroupUpdate(UpdateKind.CREATED, gid, offers)
+            for gid, offers in groups.items()
+            if offers
+        )
+
+    # ------------------------------------------------------------------
+    def _deferred(self, state: _GroupState):
+        members, est, bounds = state.snapshot()
+        offer_id = self._take_id()
+        return lambda: _build_aggregate(members, est, bounds, offer_id)
+
+    def _apply_incremental(self, gid: str, offers: tuple[FlexOffer, ...]) -> _GroupState:
+        state = self._states.get(gid)
+        if state is None:
+            state = self._states[gid] = _GroupState()
+        current = {o.offer_id for o in offers}
+        for oid in [oid for oid in state.members if oid not in current]:
+            state.remove(oid)
+        for offer in offers:
+            if offer.offer_id not in state.members:
+                state.add(offer)
+        return state
+
+    @staticmethod
+    def _take_id() -> int:
+        # Globally unique ids: aggregates from different nodes meet again at
+        # the TSO, so per-aggregator counters would collide.
+        return _next_id()

@@ -1,0 +1,162 @@
+"""Bin-packer: splits similarity groups into bounds-satisfying sub-groups.
+
+Optional middle stage of the aggregation pipeline (paper §4).  When a large
+number of (near-)identical flex-offers would collapse into a single
+aggregate, all individual scheduling freedom is lost; the bin-packer caps the
+size of each aggregate by re-partitioning every group into *sub-groups* that
+satisfy user bounds on
+
+* the number of member flex-offers,
+* the total (absolute) energy an aggregate has to offer, or
+* the total time flexibility carried by its members.
+
+Bounds are best-effort on the lower side: a trailing sub-group smaller than
+the minimum is merged into its predecessor when that does not violate the
+maxima, otherwise it is kept (a group whose total content is below the
+minimum cannot satisfy it at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.errors import AggregationError
+from ..core.flexoffer import FlexOffer
+from .updates import GroupUpdate, UpdateKind
+
+__all__ = ["BinPackerBounds", "BinPacker"]
+
+
+@dataclass(frozen=True, slots=True)
+class BinPackerBounds:
+    """Lower/upper bounds on one aggregate property.
+
+    Exactly one property is bounded per bin-packer, matching the paper's
+    "one of the following aggregated flex-offer properties".
+    ``property_name`` selects it: ``"count"``, ``"energy"`` (total absolute
+    maximum energy, kWh) or ``"time_flexibility"`` (summed member
+    flexibility, slices).
+    """
+
+    property_name: str = "count"
+    minimum: float = 0.0
+    maximum: float = float("inf")
+
+    _WEIGHTS = {
+        "count": lambda o: 1.0,
+        "energy": lambda o: abs(o.total_max_energy),
+        "time_flexibility": lambda o: float(o.time_flexibility),
+    }
+
+    def __post_init__(self) -> None:
+        if self.property_name not in self._WEIGHTS:
+            raise AggregationError(
+                f"unknown bin-packer property {self.property_name!r}; "
+                f"expected one of {sorted(self._WEIGHTS)}"
+            )
+        if self.minimum < 0 or self.maximum <= 0:
+            raise AggregationError("bounds must be non-negative (maximum > 0)")
+        if self.minimum > self.maximum:
+            raise AggregationError(
+                f"minimum {self.minimum} exceeds maximum {self.maximum}"
+            )
+
+    def weight(self, offer: FlexOffer) -> float:
+        """The offer's contribution to the bounded property."""
+        return self._WEIGHTS[self.property_name](offer)
+
+
+class BinPacker:
+    """Partitions each group's membership into bounded sub-groups.
+
+    Consumes group updates and emits sub-group updates; sub-group ids embed
+    the parent group id (``<group>#<bin>``) so they remain disjoint across
+    groups.  Packing is deterministic (first-fit in offer-id order), so
+    re-packing after an incremental change produces stable prefixes and only
+    the affected sub-groups are re-emitted.
+    """
+
+    def __init__(self, bounds: BinPackerBounds):
+        self.bounds = bounds
+        self._subgroups: dict[str, dict[str, tuple[FlexOffer, ...]]] = {}
+
+    @property
+    def subgroup_count(self) -> int:
+        """Total number of sub-groups across all groups."""
+        return sum(len(bins) for bins in self._subgroups.values())
+
+    def subgroups(self) -> dict[str, tuple[FlexOffer, ...]]:
+        """Snapshot of all sub-groups keyed by sub-group id."""
+        out: dict[str, tuple[FlexOffer, ...]] = {}
+        for bins in self._subgroups.values():
+            out.update(bins)
+        return out
+
+    def process(self, updates: Iterable[GroupUpdate]) -> list[GroupUpdate]:
+        """Apply group updates; return updates on sub-groups."""
+        out: list[GroupUpdate] = []
+        for update in updates:
+            old_bins = self._subgroups.get(update.group_id, {})
+            if update.kind is UpdateKind.DELETED or not update.offers:
+                new_bins: dict[str, tuple[FlexOffer, ...]] = {}
+            else:
+                new_bins = self._pack(update.group_id, update.offers)
+
+            for sub_id, offers in new_bins.items():
+                if sub_id not in old_bins:
+                    out.append(GroupUpdate(UpdateKind.CREATED, sub_id, offers))
+                elif old_bins[sub_id] != offers:
+                    out.append(GroupUpdate(UpdateKind.MODIFIED, sub_id, offers))
+            for sub_id, offers in old_bins.items():
+                if sub_id not in new_bins:
+                    out.append(GroupUpdate(UpdateKind.DELETED, sub_id, ()))
+
+            if new_bins:
+                self._subgroups[update.group_id] = new_bins
+            else:
+                self._subgroups.pop(update.group_id, None)
+        return out
+
+    # ------------------------------------------------------------------
+    def _pack(
+        self, group_id: str, offers: tuple[FlexOffer, ...]
+    ) -> dict[str, tuple[FlexOffer, ...]]:
+        ordered = sorted(offers, key=lambda o: o.offer_id)
+        bins: list[list[FlexOffer]] = []
+        weights: list[float] = []
+        for offer in ordered:
+            w = self.bounds.weight(offer)
+            if bins and weights[-1] + w <= self.bounds.maximum:
+                bins[-1].append(offer)
+                weights[-1] += w
+            else:
+                bins.append([offer])
+                weights.append(w)
+
+        # Best-effort lower bound for the trailing bin: first try folding it
+        # into its predecessor, then try rebalancing items from the
+        # predecessor into it; give up if neither keeps all bounds intact.
+        if len(bins) >= 2 and weights[-1] < self.bounds.minimum:
+            if weights[-2] + weights[-1] <= self.bounds.maximum:
+                bins[-2].extend(bins[-1])
+                weights[-2] += weights[-1]
+                del bins[-1], weights[-1]
+            else:
+                while (
+                    weights[-1] < self.bounds.minimum
+                    and len(bins[-2]) > 1
+                ):
+                    moved = self.bounds.weight(bins[-2][-1])
+                    if (
+                        weights[-2] - moved < self.bounds.minimum
+                        or weights[-1] + moved > self.bounds.maximum
+                    ):
+                        break
+                    bins[-1].insert(0, bins[-2].pop())
+                    weights[-2] -= moved
+                    weights[-1] += moved
+
+        return {
+            f"{group_id}#{i}": tuple(members) for i, members in enumerate(bins)
+        }

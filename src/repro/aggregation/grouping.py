@@ -1,0 +1,124 @@
+"""Group-builder: partitions flex-offers into groups of similar offers.
+
+First stage of the aggregation pipeline (paper §4).  Flex-offer updates are
+*accumulated* until processing is invoked (by the control component); on
+``flush()`` the group-builder applies them to its internal grid of groups and
+emits one :class:`GroupUpdate` per changed group.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.errors import AggregationError
+from ..core.flexoffer import FlexOffer
+from .thresholds import AggregationParameters
+from .updates import FlexOfferUpdate, GroupUpdate, UpdateKind
+
+__all__ = ["GroupBuilder"]
+
+
+class GroupBuilder:
+    """Maintains disjoint groups of similar flex-offers under a grid.
+
+    Groups are keyed by :meth:`AggregationParameters.group_key`; group ids are
+    stable strings derived from the key, so downstream components can track a
+    group across modifications.
+    """
+
+    def __init__(self, parameters: AggregationParameters):
+        self.parameters = parameters
+        self._groups: dict[tuple[int, ...], dict[int, FlexOffer]] = {}
+        self._pending: list[FlexOfferUpdate] = []
+        self._offer_cells: dict[int, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # accumulation
+    # ------------------------------------------------------------------
+    def accumulate(self, update: FlexOfferUpdate) -> None:
+        """Queue one flex-offer update for the next flush."""
+        self._pending.append(update)
+
+    def accumulate_all(self, updates: Iterable[FlexOfferUpdate]) -> None:
+        """Queue many flex-offer updates."""
+        self._pending.extend(updates)
+
+    @property
+    def pending_count(self) -> int:
+        """Number of queued, not yet processed updates."""
+        return len(self._pending)
+
+    @property
+    def group_count(self) -> int:
+        """Number of non-empty groups currently maintained."""
+        return len(self._groups)
+
+    @property
+    def offer_count(self) -> int:
+        """Number of flex-offers currently held in groups."""
+        return len(self._offer_cells)
+
+    # ------------------------------------------------------------------
+    # processing
+    # ------------------------------------------------------------------
+    def flush(self) -> list[GroupUpdate]:
+        """Apply all queued updates and report changed groups.
+
+        Returns one update per touched group: ``CREATED`` for new groups,
+        ``MODIFIED`` for groups whose membership changed, ``DELETED`` for
+        groups that became empty.
+        """
+        dirty: dict[tuple[int, ...], UpdateKind] = {}
+
+        for update in self._pending:
+            offer = update.offer
+            if update.kind is UpdateKind.DELETED:
+                cell = self._offer_cells.pop(offer.offer_id, None)
+                if cell is None:
+                    raise AggregationError(
+                        f"deleting unknown flex-offer {offer.offer_id}"
+                    )
+                group = self._groups[cell]
+                del group[offer.offer_id]
+                if not group:
+                    del self._groups[cell]
+                    dirty[cell] = UpdateKind.DELETED
+                elif dirty.get(cell) is not UpdateKind.CREATED:
+                    dirty[cell] = UpdateKind.MODIFIED
+            else:
+                if offer.offer_id in self._offer_cells:
+                    raise AggregationError(
+                        f"flex-offer {offer.offer_id} inserted twice"
+                    )
+                cell = self.parameters.group_key(offer)
+                group = self._groups.get(cell)
+                if group is None:
+                    group = self._groups[cell] = {}
+                    dirty[cell] = UpdateKind.CREATED
+                elif cell not in dirty:
+                    dirty[cell] = UpdateKind.MODIFIED
+                group[offer.offer_id] = offer
+                self._offer_cells[offer.offer_id] = cell
+
+        self._pending.clear()
+
+        updates: list[GroupUpdate] = []
+        for cell, kind in dirty.items():
+            members = self._groups.get(cell, {})
+            if kind is not UpdateKind.DELETED and not members:
+                kind = UpdateKind.DELETED  # created then emptied in one flush
+            updates.append(
+                GroupUpdate(kind, self._group_id(cell), tuple(members.values()))
+            )
+        return updates
+
+    def groups(self) -> dict[str, tuple[FlexOffer, ...]]:
+        """Snapshot of all current groups, keyed by group id."""
+        return {
+            self._group_id(cell): tuple(members.values())
+            for cell, members in self._groups.items()
+        }
+
+    @staticmethod
+    def _group_id(cell: tuple[int, ...]) -> str:
+        return "g" + ":".join(str(c) for c in cell)

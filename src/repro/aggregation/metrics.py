@@ -1,0 +1,51 @@
+"""Quality metrics for aggregation results (paper §4 requirements, Fig. 5).
+
+* **compression** — how many aggregated flex-offers remain per input offer;
+* **time-flexibility loss** — shifting freedom members give up because the
+  aggregate can only be shifted by the *minimum* member flexibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .aggregator import AggregatedFlexOffer
+
+__all__ = ["AggregationQuality", "evaluate_aggregation"]
+
+
+@dataclass(frozen=True, slots=True)
+class AggregationQuality:
+    """Summary statistics of one aggregation run."""
+
+    input_count: int
+    aggregate_count: int
+    total_time_flexibility_loss: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Input offers per aggregate (higher is better; Fig. 5(a))."""
+        if self.aggregate_count == 0:
+            return float("inf") if self.input_count else 0.0
+        return self.input_count / self.aggregate_count
+
+    @property
+    def flexibility_loss_per_offer(self) -> float:
+        """Average time-flexibility loss per input offer (Fig. 5(c) metric)."""
+        if self.input_count == 0:
+            return 0.0
+        return self.total_time_flexibility_loss / self.input_count
+
+
+def evaluate_aggregation(
+    aggregates: Sequence[AggregatedFlexOffer],
+) -> AggregationQuality:
+    """Compute :class:`AggregationQuality` for a set of aggregates."""
+    inputs = sum(a.member_count for a in aggregates)
+    loss = sum(a.time_flexibility_loss for a in aggregates)
+    return AggregationQuality(
+        input_count=inputs,
+        aggregate_count=len(aggregates),
+        total_time_flexibility_loss=loss,
+    )

@@ -1,0 +1,104 @@
+"""Aggregation thresholds and the paper's parameter combinations P0-P3.
+
+Two flex-offers may be aggregated together only if their attribute values
+"deviate by no more than user-specified thresholds" (paper §4).  The
+group-builder realises this with grid partitioning: each tolerance ``tol``
+splits the attribute's integer domain into cells of width ``tol + 1``, so any
+two offers in the same cell differ by at most ``tol``.
+
+The §9 aggregation experiment uses two attributes — *start-after time*
+(earliest start) and *time flexibility* — in four combinations:
+
+========  ======================  ======================
+combo     start-after tolerance   time-flexibility tolerance
+========  ======================  ======================
+``P0``    0 (identical)           0 (identical)
+``P1``    0 (identical)           small variation
+``P2``    small variation         0 (identical)
+``P3``    small variation         small variation
+========  ======================  ======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.flexoffer import FlexOffer
+
+__all__ = [
+    "AggregationParameters",
+    "P0",
+    "P1",
+    "P2",
+    "P3",
+    "paper_combinations",
+]
+
+#: Cell width used for the "small variation" settings of the paper's
+#: experiment, in slices (±4 h on the 15-min axis).
+SMALL_TOLERANCE = 16
+
+
+@dataclass(frozen=True, slots=True)
+class AggregationParameters:
+    """User-defined similarity thresholds for the group-builder.
+
+    Tolerances are in slices; ``0`` demands identical values.  ``None``
+    disables grouping on that attribute entirely (any values may mix).
+    ``name`` labels the combination in experiment output.
+    """
+
+    start_after_tolerance: int | None = 0
+    time_flexibility_tolerance: int | None = 0
+    duration_tolerance: int | None = None
+    unit_price_tolerance: float | None = None
+    """Price-flexibility grouping (a §4 research direction): offers may only
+    merge when their EUR/kWh compensation differs by at most this much;
+    ``0.0`` demands identical prices, ``None`` ignores prices entirely."""
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        for label, tol in (
+            ("start_after_tolerance", self.start_after_tolerance),
+            ("time_flexibility_tolerance", self.time_flexibility_tolerance),
+            ("duration_tolerance", self.duration_tolerance),
+            ("unit_price_tolerance", self.unit_price_tolerance),
+        ):
+            if tol is not None and tol < 0:
+                raise ValueError(f"{label} must be non-negative or None, got {tol}")
+
+    def group_key(self, offer: FlexOffer) -> tuple:
+        """Grid cell of ``offer``; offers sharing a cell may be aggregated."""
+        key: list = []
+        for value, tol in (
+            (offer.earliest_start, self.start_after_tolerance),
+            (offer.time_flexibility, self.time_flexibility_tolerance),
+            (offer.duration, self.duration_tolerance),
+        ):
+            key.append(-1 if tol is None else value // (tol + 1))
+        if self.unit_price_tolerance is None:
+            key.append(-1)
+        elif self.unit_price_tolerance == 0:
+            key.append(offer.unit_price)
+        else:
+            key.append(int(offer.unit_price // self.unit_price_tolerance))
+        return tuple(key)
+
+    def compatible(self, a: FlexOffer, b: FlexOffer) -> bool:
+        """Whether two offers fall into the same grid cell."""
+        return self.group_key(a) == self.group_key(b)
+
+
+#: Identical start-after time and time flexibility (no flexibility loss).
+P0 = AggregationParameters(0, 0, name="P0")
+#: Identical start-after time, small time-flexibility variation.
+P1 = AggregationParameters(0, SMALL_TOLERANCE, name="P1")
+#: Small start-after variation, identical time flexibility.
+P2 = AggregationParameters(SMALL_TOLERANCE, 0, name="P2")
+#: Small variation of both attributes.
+P3 = AggregationParameters(SMALL_TOLERANCE, SMALL_TOLERANCE, name="P3")
+
+
+def paper_combinations() -> tuple[AggregationParameters, ...]:
+    """The four combinations evaluated in the paper's Figure 5."""
+    return (P0, P1, P2, P3)

@@ -1,0 +1,49 @@
+"""Core data model: time axis, time series, flex-offers, schedules.
+
+This package is MIRABEL's vocabulary — every other component (aggregation,
+forecasting, scheduling, negotiation, node runtime) is expressed in terms of
+these types.
+"""
+
+from .errors import (
+    AggregationError,
+    CommunicationError,
+    DataManagementError,
+    DisaggregationError,
+    ForecastingError,
+    InvalidFlexOfferError,
+    InvalidScheduleError,
+    MirabelError,
+    NegotiationError,
+    SchedulingError,
+    TimeSeriesError,
+)
+from .flexoffer import EnergyConstraint, FlexOffer, Profile, flex_offer
+from .schedule import Schedule, ScheduledFlexOffer
+from .timebase import DEFAULT_AXIS, TimeAxis
+from .timeseries import TimeSeries, align_union, zeros
+
+__all__ = [
+    "MirabelError",
+    "InvalidFlexOfferError",
+    "InvalidScheduleError",
+    "DisaggregationError",
+    "AggregationError",
+    "TimeSeriesError",
+    "ForecastingError",
+    "SchedulingError",
+    "NegotiationError",
+    "DataManagementError",
+    "CommunicationError",
+    "EnergyConstraint",
+    "Profile",
+    "FlexOffer",
+    "flex_offer",
+    "ScheduledFlexOffer",
+    "Schedule",
+    "TimeAxis",
+    "DEFAULT_AXIS",
+    "TimeSeries",
+    "align_union",
+    "zeros",
+]

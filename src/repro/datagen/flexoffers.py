@@ -1,0 +1,196 @@
+"""Synthetic flex-offer datasets (the paper's ~800 000-offer workload).
+
+The paper's aggregation experiment ran on "a flex-offer dataset with around
+800000 artificially generated flex-offers"; this module regenerates such
+datasets.  Offers are drawn from household/industrial *archetypes* (EV
+charging, wet appliances, heat pumps, industrial batch loads, micro-CHP
+production) whose attribute values are **discrete**: earliest start times are
+full slices with an evening-heavy distribution and time flexibilities come
+from a small value set.  Discreteness matters — it is what makes many offers
+identical so that even the strictest threshold combination P0 achieves a
+compression ratio above 4, as the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.flexoffer import EnergyConstraint, FlexOffer, Profile
+from ..core.timebase import DEFAULT_AXIS, TimeAxis
+
+__all__ = [
+    "FlexOfferArchetype",
+    "FlexOfferDatasetSpec",
+    "generate_flexoffer_dataset",
+    "paper_dataset",
+]
+
+
+@dataclass(frozen=True)
+class FlexOfferArchetype:
+    """A device class producing structurally similar flex-offers.
+
+    ``durations`` are candidate profile lengths (slices); ``slice_energy`` is
+    the ``(min, max)`` energy band per slice in kWh (negative for
+    production); ``time_flexibilities`` are candidate start-window widths
+    (slices); ``start_hours`` weights the hour of day at which the earliest
+    start falls.
+    """
+
+    name: str
+    durations: tuple[int, ...]
+    slice_energy: tuple[float, float]
+    time_flexibilities: tuple[int, ...]
+    start_hours: tuple[int, ...]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        lo, hi = self.slice_energy
+        if hi < lo:
+            raise ValueError(f"{self.name}: slice_energy must be (min, max)")
+        if not self.durations or min(self.durations) <= 0:
+            raise ValueError(f"{self.name}: durations must be positive")
+        if min(self.time_flexibilities) < 0:
+            raise ValueError(f"{self.name}: time flexibilities must be >= 0")
+
+
+def _household_archetypes(axis: TimeAxis) -> tuple[FlexOfferArchetype, ...]:
+    """Default archetype mix (slices on the given axis)."""
+    h = axis.slices_per_hour
+    return (
+        FlexOfferArchetype(
+            name="ev_charger",
+            durations=(4 * h, 6 * h, 8 * h),
+            slice_energy=(1.5, 2.5),
+            time_flexibilities=(4 * h, 6 * h, 7 * h, 8 * h),
+            start_hours=(20, 21, 22, 23),
+            weight=0.30,
+        ),
+        FlexOfferArchetype(
+            name="washing_machine",
+            durations=(2 * h,),
+            slice_energy=(0.3, 0.6),
+            time_flexibilities=(2 * h, 4 * h, 6 * h, 8 * h),
+            start_hours=(7, 8, 9, 17, 18, 19),
+            weight=0.25,
+        ),
+        FlexOfferArchetype(
+            name="dishwasher",
+            durations=(1 * h, 2 * h),
+            slice_energy=(0.2, 0.45),
+            time_flexibilities=(2 * h, 4 * h, 6 * h),
+            start_hours=(19, 20, 21, 22),
+            weight=0.20,
+        ),
+        FlexOfferArchetype(
+            name="heat_pump",
+            durations=(1 * h, 2 * h, 3 * h),
+            slice_energy=(0.8, 1.6),
+            time_flexibilities=(1 * h, 2 * h, 3 * h),
+            start_hours=tuple(range(24)),
+            weight=0.15,
+        ),
+        FlexOfferArchetype(
+            name="industrial_batch",
+            durations=(4 * h, 8 * h),
+            slice_energy=(6.0, 14.0),
+            time_flexibilities=(2 * h, 4 * h, 8 * h),
+            start_hours=(0, 1, 2, 3, 4, 10, 11, 12, 13, 14),
+            weight=0.07,
+        ),
+        FlexOfferArchetype(
+            name="micro_chp",  # production: negative energies
+            durations=(2 * h, 4 * h),
+            slice_energy=(-2.0, -0.8),
+            time_flexibilities=(2 * h, 4 * h, 6 * h),
+            start_hours=(6, 7, 8, 16, 17, 18),
+            weight=0.03,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class FlexOfferDatasetSpec:
+    """Parameters of a synthetic flex-offer dataset.
+
+    ``n_days`` spreads earliest start times over several days so the
+    start-after attribute has a large discrete domain (what keeps the P0
+    compression ratio moderate instead of collapsing everything).
+    """
+
+    n_offers: int
+    n_days: int = 30
+    axis: TimeAxis = DEFAULT_AXIS
+    archetypes: tuple[FlexOfferArchetype, ...] = ()
+    seed: int = 42
+
+    def resolved_archetypes(self) -> tuple[FlexOfferArchetype, ...]:
+        return self.archetypes or _household_archetypes(self.axis)
+
+
+def generate_flexoffer_dataset(spec: FlexOfferDatasetSpec) -> list[FlexOffer]:
+    """Generate ``spec.n_offers`` flex-offers, deterministically from the seed.
+
+    Offers are independent draws: pick an archetype by weight, a day
+    uniformly, an hour from the archetype's start-hour pool, then duration,
+    time flexibility and a per-slice energy band quantised to 0.1 kWh (again
+    for realistic duplication).
+    """
+    rng = np.random.default_rng(spec.seed)
+    archetypes = spec.resolved_archetypes()
+    weights = np.array([a.weight for a in archetypes], dtype=float)
+    weights /= weights.sum()
+    per_day = spec.axis.slices_per_day
+    per_hour = spec.axis.slices_per_hour
+
+    arch_idx = rng.choice(len(archetypes), size=spec.n_offers, p=weights)
+    days = rng.integers(0, spec.n_days, size=spec.n_offers)
+    u_hour = rng.integers(0, 1 << 30, size=spec.n_offers)
+    u_dur = rng.integers(0, 1 << 30, size=spec.n_offers)
+    u_tf = rng.integers(0, 1 << 30, size=spec.n_offers)
+    u_lo = rng.integers(0, 4, size=spec.n_offers)  # energy-band quantisation
+    u_quarter = rng.integers(0, per_hour, size=spec.n_offers)
+    # Slice-level jitter on the time flexibility: real devices do not all
+    # share round start-window widths, and this is what gives tolerance-based
+    # grouping (P1/P3) something to merge that exact matching (P0/P2) cannot.
+    u_tf_jitter = rng.integers(0, 4, size=spec.n_offers)
+
+    offers: list[FlexOffer] = []
+    for i in range(spec.n_offers):
+        arch = archetypes[arch_idx[i]]
+        hour = arch.start_hours[u_hour[i] % len(arch.start_hours)]
+        duration = arch.durations[u_dur[i] % len(arch.durations)]
+        time_flex = (
+            arch.time_flexibilities[u_tf[i] % len(arch.time_flexibilities)]
+            + int(u_tf_jitter[i])
+        )
+        est = int(days[i]) * per_day + hour * per_hour + int(u_quarter[i])
+
+        lo, hi = arch.slice_energy
+        width = hi - lo
+        band_lo = round(lo + 0.1 * u_lo[i] * width, 1)
+        band_hi = round(band_lo + 0.6 * width, 1)
+        constraint = EnergyConstraint(min(band_lo, band_hi), max(band_lo, band_hi))
+
+        offers.append(
+            FlexOffer(
+                profile=Profile([constraint] * duration),
+                earliest_start=est,
+                latest_start=est + time_flex,
+                owner=arch.name,
+                creation_time=max(0, est - per_day),
+            )
+        )
+    return offers
+
+
+def paper_dataset(
+    n_offers: int = 800_000, *, seed: int = 42, n_days: int = 30
+) -> list[FlexOffer]:
+    """The Figure-5 workload: ~800 000 artificial flex-offers by default."""
+    return generate_flexoffer_dataset(
+        FlexOfferDatasetSpec(n_offers=n_offers, n_days=n_days, seed=seed)
+    )

@@ -1,0 +1,83 @@
+"""Synthetic weather: temperature and wind-speed processes.
+
+Substitutes for the external weather information the paper's forecasting
+component consumes.  Both processes are seasonal-plus-AR(1): a deterministic
+seasonal mean with an autoregressive stochastic deviation, which is the
+standard reduced-form model for meteorological series and gives the
+generators realistic autocorrelation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.timebase import TimeAxis
+from ..core.timeseries import TimeSeries
+
+__all__ = ["TemperatureModel", "WindSpeedModel"]
+
+
+@dataclass(frozen=True)
+class TemperatureModel:
+    """Seasonal AR(1) ambient-temperature generator (°C).
+
+    Annual cycle (cold January, warm July) plus a diurnal cycle (cool nights)
+    plus an AR(1) deviation.
+    """
+
+    axis: TimeAxis
+    annual_mean: float = 10.0
+    annual_amplitude: float = 8.0
+    diurnal_amplitude: float = 3.0
+    ar_coefficient: float = 0.995
+    noise_std: float = 0.25
+
+    def generate(self, start: int, n_slices: int, rng: np.random.Generator) -> TimeSeries:
+        """Generate ``n_slices`` of temperature beginning at ``start``."""
+        per_day = self.axis.slices_per_day
+        t = np.arange(start, start + n_slices, dtype=float)
+        day = t / per_day
+        annual = self.annual_mean - self.annual_amplitude * np.cos(
+            2 * np.pi * day / 365.25
+        )
+        diurnal = -self.diurnal_amplitude * np.cos(2 * np.pi * (t % per_day) / per_day)
+        deviation = np.empty(n_slices)
+        level = 0.0
+        shocks = rng.normal(0.0, self.noise_std, n_slices)
+        for i in range(n_slices):
+            level = self.ar_coefficient * level + shocks[i]
+            deviation[i] = level
+        return TimeSeries(start, annual + diurnal + deviation)
+
+
+@dataclass(frozen=True)
+class WindSpeedModel:
+    """AR(1) wind-speed generator (m/s), weakly seasonal.
+
+    Wind has far less deterministic structure than temperature — a small
+    annual modulation (windier winters) and a persistent AR(1) component with
+    comparatively large shocks.  Speeds are truncated at zero.
+    """
+
+    axis: TimeAxis
+    mean_speed: float = 11.0
+    annual_amplitude: float = 1.5
+    ar_coefficient: float = 0.995
+    noise_std: float = 0.22
+
+    def generate(self, start: int, n_slices: int, rng: np.random.Generator) -> TimeSeries:
+        """Generate ``n_slices`` of wind speed beginning at ``start``."""
+        per_day = self.axis.slices_per_day
+        t = np.arange(start, start + n_slices, dtype=float)
+        seasonal = self.mean_speed + self.annual_amplitude * np.cos(
+            2 * np.pi * (t / per_day) / 365.25
+        )
+        deviation = np.empty(n_slices)
+        level = 0.0
+        shocks = rng.normal(0.0, self.noise_std, n_slices)
+        for i in range(n_slices):
+            level = self.ar_coefficient * level + shocks[i]
+            deviation[i] = level
+        return TimeSeries(start, np.maximum(0.0, seasonal + deviation))

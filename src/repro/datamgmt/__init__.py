@@ -1,0 +1,25 @@
+"""Dimensional data management for LEDMS nodes (paper §3).
+
+Public API::
+
+    from repro.datamgmt import (
+        Column, Table,                      # relational substrate
+        DimensionTable, FactTable, StarSchema,
+        build_mirabel_schema, LedmsStore,   # the MIRABEL schema
+    )
+"""
+
+from .mirabel import OFFER_STATES, LedmsStore, build_mirabel_schema
+from .schema import DimensionTable, FactTable, StarSchema
+from .table import Column, Table
+
+__all__ = [
+    "Column",
+    "Table",
+    "DimensionTable",
+    "FactTable",
+    "StarSchema",
+    "build_mirabel_schema",
+    "LedmsStore",
+    "OFFER_STATES",
+]

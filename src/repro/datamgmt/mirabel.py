@@ -1,0 +1,313 @@
+"""The concrete MIRABEL LEDMS schema and its repositories (paper §3).
+
+One unified schema serves every node role; prosumers simply leave the market
+tables empty ("prosumers nodes do not make use of market area data").
+Dimensions: time, market area (snowflake parent of actor), actor, energy
+type, flex-offer state.  Facts: energy measurements, forecasts, flex-offer
+lifecycle events and prices.
+
+:class:`LedmsStore` wraps the schema with the operations the other LEDMS
+components actually use — recording measurements and reading them back as
+:class:`~repro.core.timeseries.TimeSeries`, tracking flex-offer state, and
+persisting forecast-model parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.errors import DataManagementError
+from ..core.flexoffer import FlexOffer
+from ..core.timebase import TimeAxis
+from ..core.timeseries import TimeSeries
+from .schema import DimensionTable, FactTable, StarSchema
+from .table import Column
+
+__all__ = ["build_mirabel_schema", "LedmsStore", "OFFER_STATES"]
+
+#: Flex-offer lifecycle states tracked by the store.
+OFFER_STATES = (
+    "submitted",
+    "accepted",
+    "rejected",
+    "aggregated",
+    "scheduled",
+    "executed",
+    "expired",
+)
+
+
+def build_mirabel_schema() -> StarSchema:
+    """The combined star/snowflake schema of the LEDMS."""
+    schema = StarSchema("mirabel")
+    schema.add_dimension(
+        DimensionTable(
+            "market_area",
+            [Column("market_area_id", "int"), Column("name", "str"),
+             Column("country", "str")],
+            primary_key="market_area_id",
+        )
+    )
+    schema.add_dimension(
+        DimensionTable(
+            "actor",
+            [Column("actor_id", "int"), Column("name", "str"),
+             Column("role", "str"), Column("market_area_id", "int")],
+            primary_key="actor_id",
+            parent="market_area",
+        )
+    )
+    schema.add_dimension(
+        DimensionTable(
+            "time",
+            [Column("time_id", "int"), Column("hour", "int"),
+             Column("day", "int"), Column("day_of_week", "int")],
+            primary_key="time_id",
+        )
+    )
+    schema.add_dimension(
+        DimensionTable(
+            "energy_type",
+            [Column("energy_type_id", "int"), Column("name", "str"),
+             Column("renewable", "bool")],
+            primary_key="energy_type_id",
+        )
+    )
+    schema.add_dimension(
+        DimensionTable(
+            "offer_state",
+            [Column("offer_state_id", "int"), Column("name", "str")],
+            primary_key="offer_state_id",
+        )
+    )
+    schema.add_fact(
+        FactTable(
+            "measurement",
+            ["time", "actor", "energy_type"],
+            [Column("energy_kwh", "float")],
+        )
+    )
+    schema.add_fact(
+        FactTable(
+            "forecast",
+            ["time", "actor", "energy_type"],
+            [Column("horizon", "int"), Column("energy_kwh", "float")],
+        )
+    )
+    schema.add_fact(
+        FactTable(
+            "flexoffer_event",
+            ["time", "actor", "offer_state"],
+            [Column("offer_key", "int"), Column("energy_min_kwh", "float"),
+             Column("energy_max_kwh", "float"), Column("time_flexibility", "int")],
+        )
+    )
+    schema.add_fact(
+        FactTable(
+            "price",
+            ["time", "actor"],
+            [Column("buy_eur_kwh", "float"), Column("sell_eur_kwh", "float")],
+        )
+    )
+    return schema
+
+
+class LedmsStore:
+    """Component-facing facade over the MIRABEL schema."""
+
+    def __init__(self, axis: TimeAxis, market_area: str = "EU", country: str = "EU"):
+        self.axis = axis
+        self.schema = build_mirabel_schema()
+        self.schema.insert_dimension_row(
+            "market_area", {"market_area_id": 1, "name": market_area, "country": country}
+        )
+        for state_id, state in enumerate(OFFER_STATES):
+            self.schema.insert_dimension_row(
+                "offer_state", {"offer_state_id": state_id, "name": state}
+            )
+        self._state_ids = {state: i for i, state in enumerate(OFFER_STATES)}
+        self._actor_ids: dict[str, int] = {}
+        self._energy_type_ids: dict[str, int] = {}
+        self._known_times: set[int] = set()
+        self._offer_states: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # dimension management
+    # ------------------------------------------------------------------
+    def register_actor(self, name: str, role: str) -> int:
+        """Register an actor (prosumer/BRP/TSO); idempotent by name."""
+        if name in self._actor_ids:
+            return self._actor_ids[name]
+        actor_id = len(self._actor_ids) + 1
+        self.schema.insert_dimension_row(
+            "actor",
+            {"actor_id": actor_id, "name": name, "role": role, "market_area_id": 1},
+        )
+        self._actor_ids[name] = actor_id
+        return actor_id
+
+    def register_energy_type(self, name: str, renewable: bool) -> int:
+        """Register an energy type; idempotent by name."""
+        if name in self._energy_type_ids:
+            return self._energy_type_ids[name]
+        type_id = len(self._energy_type_ids) + 1
+        self.schema.insert_dimension_row(
+            "energy_type",
+            {"energy_type_id": type_id, "name": name, "renewable": renewable},
+        )
+        self._energy_type_ids[name] = type_id
+        return type_id
+
+    def _time_id(self, slice_index: int) -> int:
+        if slice_index not in self._known_times:
+            self.schema.insert_dimension_row(
+                "time",
+                {
+                    "time_id": slice_index,
+                    "hour": self.axis.hour_of_day(slice_index),
+                    "day": self.axis.day_index(slice_index),
+                    "day_of_week": self.axis.day_of_week(slice_index),
+                },
+            )
+            self._known_times.add(slice_index)
+        return slice_index
+
+    def _actor_id(self, name: str) -> int:
+        if name not in self._actor_ids:
+            raise DataManagementError(f"unknown actor {name!r}; register it first")
+        return self._actor_ids[name]
+
+    def _energy_type_id(self, name: str) -> int:
+        if name not in self._energy_type_ids:
+            raise DataManagementError(
+                f"unknown energy type {name!r}; register it first"
+            )
+        return self._energy_type_ids[name]
+
+    # ------------------------------------------------------------------
+    # measurements & forecasts
+    # ------------------------------------------------------------------
+    def record_measurements(
+        self, actor: str, energy_type: str, series: TimeSeries
+    ) -> int:
+        """Persist a measurement series; returns the row count."""
+        actor_id = self._actor_id(actor)
+        type_id = self._energy_type_id(energy_type)
+        for offset, value in enumerate(series.values):
+            self.schema.insert_fact(
+                "measurement",
+                {
+                    "time_id": self._time_id(series.start + offset),
+                    "actor_id": actor_id,
+                    "energy_type_id": type_id,
+                    "energy_kwh": float(value),
+                },
+            )
+        return len(series)
+
+    def measurements(
+        self, actor: str, energy_type: str, start: int, end: int
+    ) -> TimeSeries:
+        """Read measurements back as a dense series (missing slices = 0)."""
+        if end <= start:
+            raise DataManagementError("empty measurement window")
+        rows = self.schema.facts["measurement"].select(
+            actor_id=self._actor_id(actor),
+            energy_type_id=self._energy_type_id(energy_type),
+        )
+        values = np.zeros(end - start)
+        for row in rows:
+            if start <= row["time_id"] < end:
+                values[row["time_id"] - start] += row["energy_kwh"]
+        return TimeSeries(start, values)
+
+    def record_forecast(
+        self, actor: str, energy_type: str, horizon: int, series: TimeSeries
+    ) -> int:
+        """Persist a forecast series issued with the given horizon."""
+        actor_id = self._actor_id(actor)
+        type_id = self._energy_type_id(energy_type)
+        for offset, value in enumerate(series.values):
+            self.schema.insert_fact(
+                "forecast",
+                {
+                    "time_id": self._time_id(series.start + offset),
+                    "actor_id": actor_id,
+                    "energy_type_id": type_id,
+                    "horizon": horizon,
+                    "energy_kwh": float(value),
+                },
+            )
+        return len(series)
+
+    def record_prices(self, actor: str, market: "object") -> int:
+        """Persist a market's per-slice buy/sell prices (EUR/kWh).
+
+        Accepts any object with ``buy_price``/``sell_price`` arrays (e.g.
+        :class:`repro.scheduling.Market`); prices are stored from slice 0 of
+        the market's horizon.  Returns the row count.
+        """
+        buy = getattr(market, "buy_price", None)
+        sell = getattr(market, "sell_price", None)
+        if buy is None or sell is None:
+            raise DataManagementError("market must expose buy_price/sell_price")
+        actor_id = self._actor_id(actor)
+        for slice_index, (b, s) in enumerate(zip(buy, sell)):
+            self.schema.insert_fact(
+                "price",
+                {
+                    "time_id": self._time_id(slice_index),
+                    "actor_id": actor_id,
+                    "buy_eur_kwh": float(b),
+                    "sell_eur_kwh": float(s),
+                },
+            )
+        return len(buy)
+
+    def prices(self, actor: str, start: int, end: int) -> list[tuple[int, float, float]]:
+        """Stored ``(slice, buy, sell)`` prices for a window, sorted by slice."""
+        rows = self.schema.facts["price"].select(actor_id=self._actor_id(actor))
+        out = [
+            (r["time_id"], r["buy_eur_kwh"], r["sell_eur_kwh"])
+            for r in rows
+            if start <= r["time_id"] < end
+        ]
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    # flex-offer lifecycle
+    # ------------------------------------------------------------------
+    def record_offer_event(self, actor: str, offer: FlexOffer, state: str, now: int) -> None:
+        """Append one lifecycle transition for a flex-offer."""
+        if state not in self._state_ids:
+            raise DataManagementError(f"unknown offer state {state!r}")
+        self.schema.insert_fact(
+            "flexoffer_event",
+            {
+                "time_id": self._time_id(now),
+                "actor_id": self._actor_id(actor),
+                "offer_state_id": self._state_ids[state],
+                "offer_key": offer.offer_id,
+                "energy_min_kwh": offer.total_min_energy,
+                "energy_max_kwh": offer.total_max_energy,
+                "time_flexibility": offer.time_flexibility,
+            },
+        )
+        self._offer_states[offer.offer_id] = state
+
+    def offer_state(self, offer_id: int) -> str | None:
+        """Latest recorded state of an offer (None if never seen)."""
+        return self._offer_states.get(offer_id)
+
+    def offers_in_state(self, state: str) -> list[int]:
+        """Offer ids currently in ``state``."""
+        return [oid for oid, s in self._offer_states.items() if s == state]
+
+    def state_counts(self) -> dict[str, int]:
+        """Current number of offers per lifecycle state."""
+        counts = {state: 0 for state in OFFER_STATES}
+        for state in self._offer_states.values():
+            counts[state] += 1
+        return counts

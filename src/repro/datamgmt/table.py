@@ -1,0 +1,203 @@
+"""Typed in-memory tables — the storage primitive of the LEDMS store.
+
+The paper stores "all historical and current time demand/supply, forecasting
+model parameters, flex-offers, price and contracts" in a single
+multidimensional schema.  :class:`Table` provides the minimal relational
+substrate for that: typed columns, a primary key, equality filters with a
+hash index on the key, projection and grouped aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..core.errors import DataManagementError
+
+__all__ = ["Column", "Table"]
+
+_TYPES = {
+    "int": int,
+    "float": (int, float),
+    "str": str,
+    "bool": bool,
+}
+
+_AGGREGATES: dict[str, Callable[[list], Any]] = {
+    "sum": sum,
+    "count": len,
+    "min": min,
+    "max": max,
+    "mean": lambda xs: sum(xs) / len(xs),
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column; ``nullable`` admits ``None`` values."""
+
+    name: str
+    dtype: str
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _TYPES:
+            raise DataManagementError(
+                f"unknown dtype {self.dtype!r}; expected one of {sorted(_TYPES)}"
+            )
+
+    def validate(self, value: Any) -> Any:
+        """Check (and return) a value for this column."""
+        if value is None:
+            if not self.nullable:
+                raise DataManagementError(f"column {self.name} is not nullable")
+            return None
+        expected = _TYPES[self.dtype]
+        if self.dtype == "float" and isinstance(value, bool):
+            raise DataManagementError(f"column {self.name}: bool is not a float")
+        if self.dtype == "int" and isinstance(value, bool):
+            raise DataManagementError(f"column {self.name}: bool is not an int")
+        if not isinstance(value, expected):
+            raise DataManagementError(
+                f"column {self.name} expects {self.dtype}, got "
+                f"{type(value).__name__} ({value!r})"
+            )
+        return float(value) if self.dtype == "float" else value
+
+
+class Table:
+    """A row store with a primary-key index and simple query operators."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        *,
+        primary_key: str | None = None,
+    ) -> None:
+        if not columns:
+            raise DataManagementError("a table needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise DataManagementError(f"duplicate column names in {name}")
+        if primary_key is not None and primary_key not in names:
+            raise DataManagementError(
+                f"primary key {primary_key} is not a column of {name}"
+            )
+        self.name = name
+        self.columns = {c.name: c for c in columns}
+        self.primary_key = primary_key
+        self._rows: list[dict[str, Any]] = []
+        self._index: dict[Any, int] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self._rows)
+
+    def insert(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Validate and insert one row; returns the stored row."""
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise DataManagementError(
+                f"{self.name}: unknown columns {sorted(unknown)}"
+            )
+        stored = {
+            name: column.validate(row.get(name))
+            for name, column in self.columns.items()
+        }
+        if self.primary_key is not None:
+            key = stored[self.primary_key]
+            if key is None:
+                raise DataManagementError(f"{self.name}: primary key is None")
+            if key in self._index:
+                raise DataManagementError(
+                    f"{self.name}: duplicate primary key {key!r}"
+                )
+            self._index[key] = len(self._rows)
+        self._rows.append(stored)
+        return stored
+
+    def insert_many(self, rows: Iterable[dict[str, Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def get(self, key: Any) -> dict[str, Any] | None:
+        """Primary-key lookup (None when absent)."""
+        if self.primary_key is None:
+            raise DataManagementError(f"{self.name} has no primary key")
+        position = self._index.get(key)
+        return None if position is None else self._rows[position]
+
+    def select(
+        self,
+        predicate: Callable[[dict[str, Any]], bool] | None = None,
+        **equals: Any,
+    ) -> list[dict[str, Any]]:
+        """Rows matching the equality filters and the optional predicate."""
+        for column in equals:
+            if column not in self.columns:
+                raise DataManagementError(
+                    f"{self.name}: unknown filter column {column}"
+                )
+        out = []
+        for row in self._rows:
+            if all(row[c] == v for c, v in equals.items()):
+                if predicate is None or predicate(row):
+                    out.append(row)
+        return out
+
+    def project(self, rows: Iterable[dict[str, Any]], columns: Sequence[str]) -> list[tuple]:
+        """Column projection of a row set, as tuples."""
+        for column in columns:
+            if column not in self.columns:
+                raise DataManagementError(
+                    f"{self.name}: unknown projection column {column}"
+                )
+        return [tuple(row[c] for c in columns) for row in rows]
+
+    def aggregate(
+        self,
+        group_by: Sequence[str],
+        measures: dict[str, tuple[str, str]],
+        predicate: Callable[[dict[str, Any]], bool] | None = None,
+        **equals: Any,
+    ) -> dict[tuple, dict[str, Any]]:
+        """Grouped aggregation.
+
+        ``measures`` maps output names to ``(column, aggregate)`` pairs with
+        aggregates from ``sum/count/min/max/mean``.  Returns
+        ``{group_key_tuple: {output_name: value}}``.
+        """
+        for column in group_by:
+            if column not in self.columns:
+                raise DataManagementError(
+                    f"{self.name}: unknown group-by column {column}"
+                )
+        for output, (column, aggregate) in measures.items():
+            if column not in self.columns:
+                raise DataManagementError(
+                    f"{self.name}: unknown measure column {column}"
+                )
+            if aggregate not in _AGGREGATES:
+                raise DataManagementError(
+                    f"unknown aggregate {aggregate!r} for {output}"
+                )
+        groups: dict[tuple, list[dict[str, Any]]] = {}
+        for row in self.select(predicate, **equals):
+            key = tuple(row[c] for c in group_by)
+            groups.setdefault(key, []).append(row)
+        return {
+            key: {
+                output: _AGGREGATES[aggregate]([r[column] for r in rows])
+                for output, (column, aggregate) in measures.items()
+            }
+            for key, rows in groups.items()
+        }

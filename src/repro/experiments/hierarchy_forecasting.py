@@ -1,0 +1,120 @@
+"""Hierarchical-forecasting advisor study (paper §5, [Fischer et al. 2011]).
+
+Builds a prosumer-group → BRP → TSO series hierarchy (parents are exact sums
+of their children), then lets the :class:`ConfigurationAdvisor` choose where
+to maintain forecast models under a model-count budget.  Reported per
+configuration: root-level accuracy, mean accuracy across nodes, number of
+models and backtest runtime — the accuracy/runtime trade-off the advisor
+component in the paper navigates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datagen import DemandModel
+from ..datagen.demand import HALF_HOURLY
+from ..forecasting import (
+    ConfigurationAdvisor,
+    HierarchyNode,
+    HoltWintersTaylor,
+    NodeMode,
+)
+from .reporting import print_table
+
+__all__ = ["HierarchyStudy", "run_hierarchy_forecasting"]
+
+PER_DAY = HALF_HOURLY.slices_per_day
+
+
+def _build_hierarchy(
+    n_brps: int, groups_per_brp: int, n_days: int, seed: int
+) -> HierarchyNode:
+    """Leaf series from independent demand models; parents sum children."""
+    rng = np.random.default_rng(seed)
+    brps = []
+    for b in range(n_brps):
+        leaves = []
+        for g in range(groups_per_brp):
+            model = DemandModel(
+                base_level=float(rng.uniform(40.0, 120.0)),
+                evening_peak=float(rng.uniform(0.1, 0.35)),
+                noise_std_fraction=float(rng.uniform(0.015, 0.035)),
+            )
+            series = model.generate(0, n_days * PER_DAY, rng)
+            leaves.append(HierarchyNode(f"group-{b}-{g}", series))
+        total = leaves[0].series
+        for leaf in leaves[1:]:
+            total = total + leaf.series
+        brps.append(HierarchyNode(f"brp-{b}", total, leaves))
+    system = brps[0].series
+    for brp in brps[1:]:
+        system = system + brp.series
+    return HierarchyNode("tso", system, brps)
+
+
+@dataclass
+class HierarchyStudy:
+    """Advisor outcome plus the two reference configurations."""
+
+    all_models_error: float
+    all_models_count: int
+    leaves_only_error: float
+    leaves_only_count: int
+    advised_error: float
+    advised_count: int
+    advised_modes: dict[str, str]
+
+
+def run_hierarchy_forecasting(
+    *,
+    n_brps: int = 2,
+    groups_per_brp: int = 3,
+    n_days: int = 21,
+    horizon_days: int = 1,
+    max_models: int | None = None,
+    seed: int = 13,
+    verbose: bool = True,
+) -> HierarchyStudy:
+    """Compare models-everywhere, leaves-only and the advisor's choice."""
+    root = _build_hierarchy(n_brps, groups_per_brp, n_days, seed)
+    root.validate_consistency(tolerance=1e-6)
+    advisor = ConfigurationAdvisor(
+        lambda: HoltWintersTaylor((48, 336)), horizon_days * PER_DAY
+    )
+
+    everywhere = advisor.evaluate(
+        root, {n.name: NodeMode.OWN_MODEL for n in root.walk()}
+    )
+    leaves_only_modes = {
+        n.name: (NodeMode.OWN_MODEL if n.is_leaf else NodeMode.AGGREGATE)
+        for n in root.walk()
+    }
+    leaves_only = advisor.evaluate(root, leaves_only_modes)
+    budget = max_models if max_models is not None else leaves_only.model_count + 1
+    advised = advisor.advise(root, max_models=budget)
+
+    study = HierarchyStudy(
+        all_models_error=everywhere.root_error,
+        all_models_count=everywhere.model_count,
+        leaves_only_error=leaves_only.root_error,
+        leaves_only_count=leaves_only.model_count,
+        advised_error=advised.root_error,
+        advised_count=advised.model_count,
+        advised_modes={k: v.value for k, v in advised.modes.items()},
+    )
+    if verbose:
+        print_table(
+            "§5 hierarchical forecasting: advisor vs reference configurations",
+            ["configuration", "root_smape", "models"],
+            [
+                ["models everywhere", study.all_models_error, study.all_models_count],
+                ["leaves only (aggregate up)", study.leaves_only_error,
+                 study.leaves_only_count],
+                [f"advisor (budget {budget})", study.advised_error,
+                 study.advised_count],
+            ],
+        )
+    return study

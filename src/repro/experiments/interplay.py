@@ -1,0 +1,241 @@
+"""Component-interplay experiments (paper §8) and design ablations.
+
+Three studies the paper discusses qualitatively, made measurable:
+
+* **aggregation ↔ scheduling** — sweeping the aggregation thresholds trades
+  compression (and thus scheduling time) against flexibility loss (and thus
+  achievable cost): the "interesting two-dimensional optimization problem";
+* **forecasting ↔ scheduling** — forecast error inflates realised imbalance
+  cost: schedules are made against the forecast but settled against actuals;
+* **publish-subscribe savings** — the fraction of forecast updates that
+  actually reach the scheduler at different significance thresholds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..aggregation import AggregationParameters, aggregate_from_scratch
+from ..core.timeseries import TimeSeries
+from ..datagen import paper_dataset, uk_style_demand
+from ..datagen.demand import HALF_HOURLY
+from ..forecasting import ForecastPublisher, HoltWintersTaylor
+from ..scheduling import Market, RandomizedGreedyScheduler, SchedulingProblem
+from .fig6 import intraday_scenario
+from .reporting import print_table
+
+__all__ = [
+    "AggSchedPoint",
+    "run_aggregation_scheduling_interplay",
+    "ForecastSchedPoint",
+    "run_forecast_scheduling_interplay",
+    "run_pubsub_savings",
+]
+
+
+# ----------------------------------------------------------------------
+# aggregation ↔ scheduling
+# ----------------------------------------------------------------------
+@dataclass
+class AggSchedPoint:
+    """One tolerance setting: compression vs loss vs end-to-end outcome."""
+
+    tolerance: int
+    aggregate_count: int
+    aggregation_time_s: float
+    flexibility_loss_per_offer: float
+    scheduling_time_s: float
+    schedule_cost: float
+
+    @property
+    def total_time_s(self) -> float:
+        return self.aggregation_time_s + self.scheduling_time_s
+
+
+def run_aggregation_scheduling_interplay(
+    *,
+    n_offers: int = 4000,
+    tolerances: list[int] | None = None,
+    horizon: int = 2976,  # 31 days on the 15-min axis: covers the offer window
+    scheduler_passes: int = 3,
+    seed: int = 1,
+    verbose: bool = True,
+) -> list[AggSchedPoint]:
+    """Sweep the grouping tolerance; schedule each aggregate pool.
+
+    Larger tolerances compress more (faster scheduling) but lose more
+    flexibility (worse achievable cost) — the §8 trade-off.
+    """
+    tolerances = tolerances if tolerances is not None else [0, 4, 16, 64, 256]
+    offers = [
+        o
+        for o in paper_dataset(n_offers, seed=seed)
+        if o.latest_start + o.duration <= horizon
+    ]
+    t = np.arange(horizon)
+    per_day = 96
+    net = (
+        10.0
+        - 30.0 * np.exp(-0.5 * (((t % per_day) - 48) / 10.0) ** 2)
+        + 5.0 * np.sin(2 * np.pi * t / per_day)
+    )
+    market = Market(
+        np.full(horizon, 0.20),
+        np.full(horizon, 0.05),
+        max_sell=np.full(horizon, 2.0),
+    )
+
+    points: list[AggSchedPoint] = []
+    for tolerance in tolerances:
+        params = AggregationParameters(
+            start_after_tolerance=tolerance,
+            time_flexibility_tolerance=tolerance,
+            name=f"tol={tolerance}",
+        )
+        t0 = time.perf_counter()
+        aggregates = aggregate_from_scratch(offers, params)
+        aggregation_time = time.perf_counter() - t0
+
+        loss = sum(a.time_flexibility_loss for a in aggregates) / len(offers)
+        problem = SchedulingProblem(TimeSeries(0, net), tuple(aggregates), market)
+        t0 = time.perf_counter()
+        run = RandomizedGreedyScheduler().schedule(
+            problem, max_passes=scheduler_passes, rng=np.random.default_rng(seed)
+        )
+        scheduling_time = time.perf_counter() - t0
+        points.append(
+            AggSchedPoint(
+                tolerance=tolerance,
+                aggregate_count=len(aggregates),
+                aggregation_time_s=aggregation_time,
+                flexibility_loss_per_offer=loss,
+                scheduling_time_s=scheduling_time,
+                schedule_cost=run.cost,
+            )
+        )
+
+    if verbose:
+        print_table(
+            "§8 interplay: aggregation thresholds vs scheduling",
+            ["tolerance", "aggregates", "agg_time_s", "tf_loss/offer",
+             "sched_time_s", "cost_eur", "total_time_s"],
+            [
+                [p.tolerance, p.aggregate_count, p.aggregation_time_s,
+                 p.flexibility_loss_per_offer, p.scheduling_time_s,
+                 p.schedule_cost, p.total_time_s]
+                for p in points
+            ],
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# forecasting ↔ scheduling
+# ----------------------------------------------------------------------
+@dataclass
+class ForecastSchedPoint:
+    """Schedule cost under a given forecast error level."""
+
+    noise_fraction: float
+    planned_cost: float
+    realised_cost: float
+    perfect_forecast_cost: float
+
+    @property
+    def regret(self) -> float:
+        """Extra *realised* cost versus planning on a perfect forecast."""
+        return self.realised_cost - self.perfect_forecast_cost
+
+
+def run_forecast_scheduling_interplay(
+    *,
+    n_offers: int = 100,
+    noise_fractions: list[float] | None = None,
+    seed: int = 3,
+    scheduler_passes: int = 5,
+    verbose: bool = True,
+) -> list[ForecastSchedPoint]:
+    """Schedule against noisy forecasts, settle against the true net load.
+
+    The higher the forecast error, the higher the realised cost — the
+    quantitative face of "the time spent on parameter estimation … influence
+    forecast accuracy and thus scheduling results".
+    """
+    noise_fractions = noise_fractions or [0.0, 0.05, 0.1, 0.2, 0.4]
+    truth = intraday_scenario(n_offers, seed=seed)
+    rng = np.random.default_rng(seed)
+
+    # Reference: planning on the true net load.
+    perfect_run = RandomizedGreedyScheduler().schedule(
+        truth, max_passes=scheduler_passes, rng=np.random.default_rng(seed)
+    )
+    perfect_cost = perfect_run.cost
+
+    points: list[ForecastSchedPoint] = []
+    for noise in noise_fractions:
+        actual = truth.net_forecast.values
+        perturbed = actual + rng.normal(
+            0.0, noise * np.abs(actual).mean(), len(actual)
+        )
+        forecast_problem = SchedulingProblem(
+            TimeSeries(truth.net_forecast.start, perturbed),
+            truth.offers,
+            truth.market,
+        )
+        run = RandomizedGreedyScheduler().schedule(
+            forecast_problem, max_passes=scheduler_passes,
+            rng=np.random.default_rng(seed),
+        )
+        realised = truth.cost(run.solution)
+        points.append(ForecastSchedPoint(noise, run.cost, realised, perfect_cost))
+
+    if verbose:
+        print_table(
+            "§8 interplay: forecast error vs schedule cost",
+            ["noise_frac", "planned_cost", "realised_cost", "regret"],
+            [[p.noise_fraction, p.planned_cost, p.realised_cost, p.regret]
+             for p in points],
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# publish-subscribe savings
+# ----------------------------------------------------------------------
+def run_pubsub_savings(
+    *,
+    thresholds: list[float] | None = None,
+    n_days: int = 42,
+    stream_days: int = 3,
+    seed: int = 7,
+    verbose: bool = True,
+) -> dict[float, float]:
+    """Notification rate per significance threshold.
+
+    Returns ``{threshold: notifications / measurements}`` — how much
+    expensive rescheduling the pub-sub scheme avoids versus notifying on
+    every new forecast value.
+    """
+    thresholds = thresholds or [0.0, 0.005, 0.01, 0.02, 0.05, 0.1]
+    per_day = HALF_HOURLY.slices_per_day
+    demand = uk_style_demand(n_days, seed=seed)
+    train, test = demand.split(demand.start + (n_days - 7) * per_day)
+    stream = test.first(stream_days * per_day)
+
+    rates: dict[float, float] = {}
+    for threshold in thresholds:
+        publisher = ForecastPublisher(HoltWintersTaylor((48, 336)).fit(train))
+        subscription = publisher.subscribe("scheduler", per_day, threshold)
+        publisher.on_series(stream)
+        rates[threshold] = (subscription.notifications - 1) / len(stream)
+
+    if verbose:
+        print_table(
+            "§5 publish-subscribe forecast queries: notification rate",
+            ["threshold", "notifications_per_update"],
+            [[t, r] for t, r in rates.items()],
+        )
+    return rates

@@ -1,0 +1,94 @@
+"""Forecasting of energy demand, supply and flex-offers (paper §5).
+
+Public API::
+
+    from repro.forecasting import (
+        HoltWintersTaylor, EGRVModel, SeasonalNaiveModel,       # models
+        RandomRestartNelderMead, SimulatedAnnealing,            # estimators
+        RandomSearch, NelderMead, EstimationBudget,
+        ModelMaintainer, TimeBasedEvaluation,                   # maintenance
+        ThresholdBasedEvaluation,
+        ForecastPublisher,                                      # pub/sub
+        ContextRepository, ContextAwareAdaptation,              # context
+        ConfigurationAdvisor, HierarchyNode, NodeMode,          # hierarchy
+        FlexOfferSeries, FlexOfferForecaster,                   # flex-offers
+        smape, mape, rmse, mae, mase,                           # metrics
+    )
+"""
+
+from .context import (
+    ContextAwareAdaptation,
+    ContextCase,
+    ContextRepository,
+    series_context,
+)
+from .fallback import FallbackModel
+from .estimation import (
+    EstimationBudget,
+    EstimationResult,
+    Estimator,
+    NelderMead,
+    RandomRestartNelderMead,
+    RandomSearch,
+    SimulatedAnnealing,
+    paper_estimators,
+)
+from .flexoffers import FlexOfferForecaster, FlexOfferSeries
+from .hierarchy import Configuration, ConfigurationAdvisor, HierarchyNode, NodeMode
+from .maintenance import (
+    MaintenanceReport,
+    ModelMaintainer,
+    ThresholdBasedEvaluation,
+    TimeBasedEvaluation,
+)
+from .metrics import mae, mape, mase, rmse, smape
+from .models import (
+    EGRVModel,
+    ForecastModel,
+    HoltWintersTaylor,
+    MovingAverageModel,
+    NaiveModel,
+    ParameterSpace,
+    SeasonalNaiveModel,
+)
+from .pubsub import ForecastPublisher, ForecastSubscription
+
+__all__ = [
+    "ContextAwareAdaptation",
+    "ContextCase",
+    "ContextRepository",
+    "series_context",
+    "EstimationBudget",
+    "EstimationResult",
+    "Estimator",
+    "NelderMead",
+    "RandomRestartNelderMead",
+    "RandomSearch",
+    "SimulatedAnnealing",
+    "paper_estimators",
+    "FlexOfferForecaster",
+    "FlexOfferSeries",
+    "Configuration",
+    "ConfigurationAdvisor",
+    "HierarchyNode",
+    "NodeMode",
+    "MaintenanceReport",
+    "ModelMaintainer",
+    "ThresholdBasedEvaluation",
+    "TimeBasedEvaluation",
+    "FallbackModel",
+    "mae",
+    "mape",
+    "mase",
+    "rmse",
+    "smape",
+    "EGRVModel",
+    "ForecastModel",
+    "HoltWintersTaylor",
+    "MovingAverageModel",
+    "NaiveModel",
+    "ParameterSpace",
+    "SeasonalNaiveModel",
+    "ForecastPublisher",
+    "ForecastSubscription",
+]

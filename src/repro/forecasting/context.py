@@ -1,0 +1,139 @@
+"""Context-aware model adaptation (paper §5).
+
+"Observing these context information offers the possibility of storing
+previous models in conjunction to their corresponding context information
+within a repository to reuse them whenever a similar context reoccurs."
+
+A :class:`ContextRepository` is a small case base mapping **context vectors**
+(season, day type, level statistics, temperature, …) to previously estimated
+parameter vectors.  :class:`ContextAwareAdaptation` warm-starts a parameter
+search from the most similar stored case — the case-based-reasoning shortcut
+that "achieves a higher forecast accuracy in less time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ForecastingError
+from ..core.timeseries import TimeSeries
+from .estimation.base import EstimationBudget, EstimationResult, Estimator
+from .models.base import ForecastModel
+
+__all__ = ["ContextCase", "ContextRepository", "ContextAwareAdaptation", "series_context"]
+
+
+def series_context(history: TimeSeries, *, season_length: int = 48) -> np.ndarray:
+    """A simple context vector summarising a training window.
+
+    Features: mean level, coefficient of variation, strength of the seasonal
+    cycle (autocorrelation at ``season_length``) and trend slope sign — cheap
+    statistics that characterise "background processes and influences".
+    """
+    v = history.values
+    if len(v) <= season_length:
+        raise ForecastingError("history shorter than one season")
+    mean = v.mean()
+    std = v.std()
+    x = v - mean
+    denominator = (x[:-season_length] ** 2).sum()
+    seasonal_r = (
+        float((x[:-season_length] * x[season_length:]).sum() / denominator)
+        if denominator > 0
+        else 0.0
+    )
+    half = len(v) // 2
+    trend = float(np.sign(v[half:].mean() - v[:half].mean()))
+    cv = float(std / abs(mean)) if mean != 0 else 0.0
+    return np.array([float(mean), cv, seasonal_r, trend])
+
+
+@dataclass(frozen=True)
+class ContextCase:
+    """One stored estimation outcome: context, parameters, achieved error."""
+
+    context: np.ndarray
+    params: np.ndarray
+    error: float
+
+
+class ContextRepository:
+    """Case base of previous parameter estimations.
+
+    Similarity is Euclidean distance over per-feature normalised contexts
+    (ranges are tracked online), so features with large magnitudes (mean
+    level) do not drown out the structural ones.
+    """
+
+    def __init__(self) -> None:
+        self._cases: list[ContextCase] = []
+
+    def __len__(self) -> int:
+        return len(self._cases)
+
+    def store(self, context: np.ndarray, params: np.ndarray, error: float) -> None:
+        """Add one case to the repository."""
+        self._cases.append(
+            ContextCase(
+                np.asarray(context, float).copy(),
+                np.asarray(params, float).copy(),
+                float(error),
+            )
+        )
+
+    def nearest(self, context: np.ndarray, k: int = 1) -> list[ContextCase]:
+        """The ``k`` most similar stored cases (best error breaks ties)."""
+        if not self._cases:
+            return []
+        query = np.asarray(context, float)
+        matrix = np.stack([c.context for c in self._cases])
+        span = matrix.max(axis=0) - matrix.min(axis=0)
+        span[span == 0] = 1.0
+        distances = np.linalg.norm((matrix - query) / span, axis=1)
+        order = sorted(
+            range(len(self._cases)), key=lambda i: (distances[i], self._cases[i].error)
+        )
+        return [self._cases[i] for i in order[:k]]
+
+
+class ContextAwareAdaptation:
+    """Warm-started re-estimation driven by a context repository."""
+
+    def __init__(
+        self,
+        estimator: Estimator,
+        repository: ContextRepository | None = None,
+    ) -> None:
+        self.estimator = estimator
+        self.repository = repository if repository is not None else ContextRepository()
+
+    def adapt(
+        self,
+        model: ForecastModel,
+        history: TimeSeries,
+        budget: EstimationBudget,
+        *,
+        context: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> EstimationResult:
+        """Estimate parameters for ``history``, reusing similar past cases.
+
+        The search starts from the nearest stored case's parameters (when
+        any exist); the outcome is stored back into the repository, so the
+        case base grows as contexts reoccur.
+        """
+        ctx = series_context(history) if context is None else np.asarray(context)
+        cases = self.repository.nearest(ctx)
+        initial = cases[0].params if cases else None
+        result = self.estimator.estimate(
+            lambda p: model.insample_error(history, p),
+            model.parameter_space,
+            budget,
+            rng=rng,
+            initial=initial,
+        )
+        self.repository.store(ctx, result.params, result.error)
+        model.fit(history, result.params)
+        return result

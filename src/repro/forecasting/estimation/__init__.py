@@ -1,0 +1,35 @@
+"""Parameter estimation for forecast models (paper §5).
+
+Local search: :class:`NelderMead`.  Global search: the three strategies the
+paper compares in Figure 4(a) — :class:`RandomRestartNelderMead` (the
+winner), :class:`SimulatedAnnealing` and :class:`RandomSearch`.
+"""
+
+from .annealing import SimulatedAnnealing
+from .base import (
+    BudgetExhausted,
+    EstimationBudget,
+    EstimationResult,
+    Estimator,
+    Objective,
+)
+from .nelder_mead import NelderMead, RandomRestartNelderMead
+from .random_search import RandomSearch
+
+__all__ = [
+    "BudgetExhausted",
+    "EstimationBudget",
+    "EstimationResult",
+    "Estimator",
+    "Objective",
+    "NelderMead",
+    "RandomRestartNelderMead",
+    "SimulatedAnnealing",
+    "RandomSearch",
+    "paper_estimators",
+]
+
+
+def paper_estimators() -> tuple[Estimator, ...]:
+    """The three global search algorithms compared in Figure 4(a)."""
+    return (RandomRestartNelderMead(), SimulatedAnnealing(), RandomSearch())

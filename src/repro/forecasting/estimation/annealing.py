@@ -1,0 +1,62 @@
+"""Simulated annealing, implemented from scratch.
+
+The paper's global estimator baseline ("global (e.g., Simulated Annealing)
+parameter estimators", citing Bertsimas & Tsitsiklis): Gaussian neighbourhood
+proposals scaled to the parameter box, Metropolis acceptance and geometric
+cooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Estimator
+
+__all__ = ["SimulatedAnnealing"]
+
+
+class SimulatedAnnealing(Estimator):
+    """Metropolis search with geometric cooling.
+
+    ``initial_temperature`` is relative to the objective's scale and decays
+    by ``cooling`` every ``steps_per_temperature`` proposals; ``step_scale``
+    is the proposal standard deviation as a fraction of each parameter's
+    range.  When the temperature floor is reached the chain restarts hot from
+    a random point, so the estimator keeps using any remaining budget.
+    """
+
+    name = "simulated-annealing"
+
+    def __init__(
+        self,
+        *,
+        initial_temperature: float = 0.05,
+        cooling: float = 0.95,
+        steps_per_temperature: int = 10,
+        step_scale: float = 0.15,
+        min_temperature: float = 1e-6,
+    ) -> None:
+        if not 0 < cooling < 1:
+            raise ValueError("cooling must be in (0, 1)")
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.steps_per_temperature = steps_per_temperature
+        self.step_scale = step_scale
+        self.min_temperature = min_temperature
+
+    def _run(self, objective, space, rng) -> None:
+        width = np.asarray(space.upper) - np.asarray(space.lower)
+        while True:  # restart hot whenever fully cooled
+            current = space.sample(rng)
+            f_current = objective(current)
+            temperature = self.initial_temperature
+            while temperature > self.min_temperature:
+                for _ in range(self.steps_per_temperature):
+                    proposal = space.clip(
+                        current + rng.normal(0.0, self.step_scale * width)
+                    )
+                    f_proposal = objective(proposal)
+                    delta = f_proposal - f_current
+                    if delta <= 0 or rng.random() < np.exp(-delta / temperature):
+                        current, f_current = proposal, f_proposal
+                temperature *= self.cooling

@@ -1,0 +1,175 @@
+"""Estimator infrastructure: budgets, traces and the common interface.
+
+Parameter estimation (paper §5) is an *anytime* process: Figure 4(a) plots
+the best error found so far against elapsed estimation time.  Every
+estimator therefore runs against an :class:`EstimationBudget` (wall-clock
+seconds and/or a maximum number of objective evaluations) and produces an
+:class:`EstimationResult` whose ``trace`` is exactly that error-over-time
+curve.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ...core.errors import ForecastingError
+from ..models.base import ParameterSpace
+
+__all__ = [
+    "Objective",
+    "EstimationBudget",
+    "EstimationResult",
+    "BudgetExhausted",
+    "Estimator",
+]
+
+Objective = Callable[[np.ndarray], float]
+
+
+class BudgetExhausted(Exception):
+    """Internal control-flow signal: the evaluation budget ran out."""
+
+
+@dataclass(frozen=True)
+class EstimationBudget:
+    """Stop conditions for an estimation run (whichever hits first).
+
+    ``seconds`` bounds wall-clock time; ``max_evaluations`` bounds objective
+    calls (the deterministic option used by tests).  At least one must be
+    set.
+    """
+
+    seconds: float | None = None
+    max_evaluations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.seconds is None and self.max_evaluations is None:
+            raise ForecastingError("budget needs seconds or max_evaluations")
+        if self.seconds is not None and self.seconds <= 0:
+            raise ForecastingError("seconds must be positive")
+        if self.max_evaluations is not None and self.max_evaluations <= 0:
+            raise ForecastingError("max_evaluations must be positive")
+
+    @classmethod
+    def of_seconds(cls, seconds: float) -> "EstimationBudget":
+        """Pure wall-clock budget."""
+        return cls(seconds=seconds)
+
+    @classmethod
+    def of_evaluations(cls, n: int) -> "EstimationBudget":
+        """Pure evaluation-count budget (deterministic)."""
+        return cls(max_evaluations=n)
+
+
+@dataclass
+class EstimationResult:
+    """Outcome of one estimation run."""
+
+    params: np.ndarray
+    error: float
+    evaluations: int
+    elapsed_seconds: float
+    trace: list[tuple[float, float]] = field(default_factory=list)
+    """``(elapsed_seconds, best_error_so_far)`` per objective evaluation —
+    the Figure 4(a) error-development curve."""
+
+    def error_at(self, seconds: float) -> float:
+        """Best error achieved within the first ``seconds`` of the run."""
+        best = float("inf")
+        for t, e in self.trace:
+            if t > seconds:
+                break
+            best = e
+        return best
+
+
+class _BudgetedObjective:
+    """Wraps an objective with budget enforcement and best-so-far tracking."""
+
+    def __init__(self, objective: Objective, budget: EstimationBudget):
+        self._objective = objective
+        self._budget = budget
+        self._t0 = time.perf_counter()
+        self.evaluations = 0
+        self.best_error = float("inf")
+        self.best_params: np.ndarray | None = None
+        self.trace: list[tuple[float, float]] = []
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def exhausted(self) -> bool:
+        b = self._budget
+        if b.max_evaluations is not None and self.evaluations >= b.max_evaluations:
+            return True
+        if b.seconds is not None and self.elapsed() >= b.seconds:
+            return True
+        return False
+
+    def __call__(self, params: np.ndarray) -> float:
+        if self.exhausted():
+            raise BudgetExhausted
+        value = float(self._objective(params))
+        self.evaluations += 1
+        if value < self.best_error:
+            self.best_error = value
+            self.best_params = np.array(params, dtype=float)
+        self.trace.append((self.elapsed(), self.best_error))
+        return value
+
+    def result(self) -> EstimationResult:
+        if self.best_params is None:
+            raise ForecastingError("estimation ended before any evaluation")
+        return EstimationResult(
+            params=self.best_params,
+            error=self.best_error,
+            evaluations=self.evaluations,
+            elapsed_seconds=self.elapsed(),
+            trace=self.trace,
+        )
+
+
+class Estimator(ABC):
+    """Common interface of all parameter estimators."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "estimator"
+
+    def estimate(
+        self,
+        objective: Objective,
+        space: ParameterSpace,
+        budget: EstimationBudget,
+        *,
+        rng: np.random.Generator | None = None,
+        initial: np.ndarray | None = None,
+    ) -> EstimationResult:
+        """Minimise ``objective`` over ``space`` within ``budget``.
+
+        ``initial`` optionally warm-starts the search (used by context-aware
+        adaptation); estimators that cannot exploit it just evaluate it
+        first.
+        """
+        tracked = _BudgetedObjective(objective, budget)
+        rng = rng or np.random.default_rng()
+        try:
+            if initial is not None:
+                tracked(space.clip(np.asarray(initial, dtype=float)))
+            self._run(tracked, space, rng)
+        except BudgetExhausted:
+            pass
+        return tracked.result()
+
+    @abstractmethod
+    def _run(
+        self,
+        objective: _BudgetedObjective,
+        space: ParameterSpace,
+        rng: np.random.Generator,
+    ) -> None:
+        """Search until :class:`BudgetExhausted` is raised."""

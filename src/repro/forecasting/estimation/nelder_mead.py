@@ -1,0 +1,131 @@
+"""Downhill-simplex (Nelder-Mead) local search, implemented from scratch.
+
+The paper reuses "existing well-established local (e.g., Downhill-Simplex)"
+estimators; this is the standard Nelder & Mead (1965) algorithm with box
+constraints handled by projection, plus the random-restart wrapper that the
+paper's Figure 4(a) identifies as the best global strategy ("Random Restart
+Nelder Mead ... our main global search algorithm").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.base import ParameterSpace
+from .base import Estimator, _BudgetedObjective
+
+__all__ = ["NelderMead", "RandomRestartNelderMead"]
+
+
+class NelderMead(Estimator):
+    """One Nelder-Mead descent from a single starting point.
+
+    Standard coefficients: reflection 1, expansion 2, contraction 0.5,
+    shrink 0.5.  Runs until the budget is exhausted or the simplex collapses
+    (then it idles on re-evaluating the best point, so pure local search is
+    best used through :class:`RandomRestartNelderMead`).
+    """
+
+    name = "nelder-mead"
+
+    def __init__(
+        self,
+        *,
+        reflection: float = 1.0,
+        expansion: float = 2.0,
+        contraction: float = 0.5,
+        shrink: float = 0.5,
+        initial_step: float = 0.25,
+        tolerance: float = 1e-9,
+    ) -> None:
+        self.reflection = reflection
+        self.expansion = expansion
+        self.contraction = contraction
+        self.shrink = shrink
+        self.initial_step = initial_step
+        self.tolerance = tolerance
+
+    # ------------------------------------------------------------------
+    def _initial_simplex(
+        self, space: ParameterSpace, start: np.ndarray
+    ) -> np.ndarray:
+        """Axis-aligned simplex around ``start``, scaled to the box."""
+        n = space.dimension
+        width = np.asarray(space.upper) - np.asarray(space.lower)
+        simplex = np.tile(start, (n + 1, 1))
+        for i in range(n):
+            step = self.initial_step * width[i]
+            simplex[i + 1, i] += step if start[i] + step <= space.upper[i] else -step
+        return np.array([space.clip(v) for v in simplex])
+
+    def descend(
+        self,
+        objective: _BudgetedObjective,
+        space: ParameterSpace,
+        start: np.ndarray,
+    ) -> None:
+        """One budgeted descent; raises BudgetExhausted when out of budget."""
+        simplex = self._initial_simplex(space, start)
+        values = np.array([objective(v) for v in simplex])
+
+        while True:
+            order = np.argsort(values)
+            simplex, values = simplex[order], values[order]
+            if values[-1] - values[0] < self.tolerance:
+                return  # converged
+
+            centroid = simplex[:-1].mean(axis=0)
+            worst = simplex[-1]
+
+            reflected = space.clip(centroid + self.reflection * (centroid - worst))
+            f_reflected = objective(reflected)
+
+            if f_reflected < values[0]:
+                expanded = space.clip(centroid + self.expansion * (centroid - worst))
+                f_expanded = objective(expanded)
+                if f_expanded < f_reflected:
+                    simplex[-1], values[-1] = expanded, f_expanded
+                else:
+                    simplex[-1], values[-1] = reflected, f_reflected
+            elif f_reflected < values[-2]:
+                simplex[-1], values[-1] = reflected, f_reflected
+            else:
+                contracted = space.clip(
+                    centroid + self.contraction * (worst - centroid)
+                )
+                f_contracted = objective(contracted)
+                if f_contracted < values[-1]:
+                    simplex[-1], values[-1] = contracted, f_contracted
+                else:  # shrink towards the best vertex
+                    for i in range(1, len(simplex)):
+                        simplex[i] = space.clip(
+                            simplex[0] + self.shrink * (simplex[i] - simplex[0])
+                        )
+                        values[i] = objective(simplex[i])
+
+    def _run(self, objective, space, rng) -> None:
+        self.descend(objective, space, space.center())
+        # Local search converged with budget to spare: restart randomly so a
+        # plain NelderMead instance still honours its full budget.
+        while True:
+            self.descend(objective, space, space.sample(rng))
+
+
+class RandomRestartNelderMead(Estimator):
+    """Nelder-Mead restarted from random points until the budget runs out.
+
+    The paper's global estimator of choice: each descent is cheap and greedy,
+    and restarts provide the global coverage that a single simplex lacks.
+    """
+
+    name = "random-restart-nelder-mead"
+
+    def __init__(self, *, first_start_at_center: bool = True, **nm_kwargs) -> None:
+        self._nm = NelderMead(**nm_kwargs)
+        self.first_start_at_center = first_start_at_center
+
+    def _run(self, objective, space, rng) -> None:
+        if self.first_start_at_center:
+            self._nm.descend(objective, space, space.center())
+        while True:
+            self._nm.descend(objective, space, space.sample(rng))

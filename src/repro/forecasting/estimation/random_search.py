@@ -1,0 +1,22 @@
+"""Pure random search — the third global estimator of Figure 4(a)."""
+
+from __future__ import annotations
+
+from .base import Estimator
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(Estimator):
+    """Uniform sampling of the parameter box until the budget runs out.
+
+    The weakest of the paper's three global strategies but an essential
+    baseline: any structured search must beat it for its complexity to be
+    justified.
+    """
+
+    name = "random-search"
+
+    def _run(self, objective, space, rng) -> None:
+        while True:
+            objective(space.sample(rng))

@@ -1,0 +1,148 @@
+"""Flex-offer forecasting (paper §5).
+
+"Flex-offers can be viewed as multi-variate time series that consists of a
+vector of observations (e.g., min power, max power) per time slice.  To
+forecast flex-offers, we decompose this multi-variate time series into a set
+of univariate time series and apply our already defined forecast model types
+to the individual time series."
+
+:class:`FlexOfferSeries` performs the decomposition over a historical
+flex-offer stream (per earliest-start slice: offer count, total min/max
+energy, mean time flexibility, mean duration); :class:`FlexOfferForecaster`
+fits one univariate model per component and recomposes the forecasts into
+*expected* flex-offers for future slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.errors import ForecastingError
+from ..core.flexoffer import FlexOffer, Profile, flex_offer
+from ..core.timeseries import TimeSeries
+from .models.base import ForecastModel
+
+__all__ = ["FlexOfferSeries", "FlexOfferForecaster"]
+
+_COMPONENTS = ("count", "min_energy", "max_energy", "time_flexibility", "duration")
+
+
+@dataclass(frozen=True)
+class FlexOfferSeries:
+    """Univariate decomposition of a flex-offer stream.
+
+    All component series share the same window ``[start, end)`` and are
+    indexed by the offers' earliest start slices.
+    """
+
+    count: TimeSeries
+    min_energy: TimeSeries
+    max_energy: TimeSeries
+    time_flexibility: TimeSeries
+    duration: TimeSeries
+
+    @classmethod
+    def decompose(
+        cls, offers: Sequence[FlexOffer], start: int, end: int
+    ) -> "FlexOfferSeries":
+        """Aggregate offers into per-slice component series over the window.
+
+        ``min_energy``/``max_energy`` are *totals* per slice; ``time_flexibility``
+        and ``duration`` are per-slice means (0 where no offer was issued).
+        """
+        if end <= start:
+            raise ForecastingError("empty decomposition window")
+        n = end - start
+        count = np.zeros(n)
+        e_min = np.zeros(n)
+        e_max = np.zeros(n)
+        tf = np.zeros(n)
+        dur = np.zeros(n)
+        for offer in offers:
+            i = offer.earliest_start - start
+            if not 0 <= i < n:
+                continue
+            count[i] += 1
+            e_min[i] += offer.total_min_energy
+            e_max[i] += offer.total_max_energy
+            tf[i] += offer.time_flexibility
+            dur[i] += offer.duration
+        nonzero = count > 0
+        tf[nonzero] /= count[nonzero]
+        dur[nonzero] /= count[nonzero]
+        return cls(
+            count=TimeSeries(start, count),
+            min_energy=TimeSeries(start, e_min),
+            max_energy=TimeSeries(start, e_max),
+            time_flexibility=TimeSeries(start, tf),
+            duration=TimeSeries(start, dur),
+        )
+
+    def components(self) -> dict[str, TimeSeries]:
+        """All component series keyed by name."""
+        return {name: getattr(self, name) for name in _COMPONENTS}
+
+
+class FlexOfferForecaster:
+    """Forecasts expected flex-offers via component-wise univariate models."""
+
+    def __init__(self, model_factory: Callable[[], ForecastModel]):
+        self.model_factory = model_factory
+        self._models: dict[str, ForecastModel] = {}
+        self._end = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._models)
+
+    def fit(self, series: FlexOfferSeries) -> "FlexOfferForecaster":
+        """Fit one model per component series."""
+        self._models = {
+            name: self.model_factory().fit(component)
+            for name, component in series.components().items()
+        }
+        self._end = series.count.end
+        return self
+
+    def forecast_components(self, horizon: int) -> dict[str, TimeSeries]:
+        """Forecast every component series ``horizon`` slices ahead."""
+        if not self.is_fitted:
+            raise ForecastingError("fit the forecaster first")
+        return {
+            name: model.forecast(horizon) for name, model in self._models.items()
+        }
+
+    def forecast_offers(
+        self, horizon: int, *, owner: str = "forecast"
+    ) -> list[FlexOffer]:
+        """Recompose component forecasts into expected flex-offers.
+
+        For each future slice with expected count >= 0.5, one representative
+        flex-offer is emitted carrying the expected total energy band, mean
+        time flexibility and mean duration — the aggregate view a BRP needs
+        for proactive scheduling.
+        """
+        components = self.forecast_components(horizon)
+        offers: list[FlexOffer] = []
+        for h in range(horizon):
+            slice_index = self._end + h
+            expected_count = components["count"].values[h]
+            if expected_count < 0.5:
+                continue
+            duration = max(1, int(round(components["duration"].values[h])))
+            time_flex = max(0, int(round(components["time_flexibility"].values[h])))
+            total_lo = components["min_energy"].values[h]
+            total_hi = components["max_energy"].values[h]
+            lo, hi = sorted((total_lo / duration, total_hi / duration))
+            offers.append(
+                flex_offer(
+                    [(lo, hi)] * duration,
+                    earliest_start=slice_index,
+                    latest_start=slice_index + time_flex,
+                    owner=owner,
+                )
+            )
+        return offers

@@ -1,0 +1,183 @@
+"""Continuous model maintenance (paper §5).
+
+A stream of new measurements keeps every forecast model under maintenance:
+
+* each value triggers a cheap :meth:`~repro.forecasting.models.base.
+  ForecastModel.update` (state shift, no re-estimation);
+* an **evaluation strategy** decides when accuracy has degraded enough to
+  justify the expensive parameter re-estimation — the paper names time- and
+  threshold-based strategies;
+* re-estimation warm-starts from the current parameters, exploiting "the
+  context knowledge of previous model estimations".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ForecastingError
+from ..core.timeseries import TimeSeries
+from .estimation.base import EstimationBudget, Estimator
+from .models.base import ForecastModel
+
+__all__ = [
+    "EvaluationStrategy",
+    "TimeBasedEvaluation",
+    "ThresholdBasedEvaluation",
+    "MaintenanceReport",
+    "ModelMaintainer",
+]
+
+
+class EvaluationStrategy(ABC):
+    """Decides, per observation, whether to re-estimate model parameters."""
+
+    @abstractmethod
+    def observe(self, smape_term: float) -> bool:
+        """Record one one-step-ahead error term; return True to re-estimate."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget accumulated state after a re-estimation."""
+
+
+class TimeBasedEvaluation(EvaluationStrategy):
+    """Re-estimate every ``interval`` observations, unconditionally."""
+
+    def __init__(self, interval: int):
+        if interval <= 0:
+            raise ForecastingError("interval must be positive")
+        self.interval = interval
+        self._count = 0
+
+    def observe(self, smape_term: float) -> bool:
+        self._count += 1
+        return self._count >= self.interval
+
+    def reset(self) -> None:
+        self._count = 0
+
+
+class ThresholdBasedEvaluation(EvaluationStrategy):
+    """Re-estimate when rolling SMAPE over ``window`` exceeds ``threshold``."""
+
+    def __init__(self, threshold: float, window: int = 48):
+        if threshold <= 0:
+            raise ForecastingError("threshold must be positive")
+        if window <= 0:
+            raise ForecastingError("window must be positive")
+        self.threshold = threshold
+        self.window = window
+        self._terms: deque[float] = deque(maxlen=window)
+
+    @property
+    def rolling_error(self) -> float:
+        """Current rolling SMAPE (0 until the first observation)."""
+        return float(np.mean(self._terms)) if self._terms else 0.0
+
+    def observe(self, smape_term: float) -> bool:
+        self._terms.append(smape_term)
+        return (
+            len(self._terms) == self.window and self.rolling_error > self.threshold
+        )
+
+    def reset(self) -> None:
+        self._terms.clear()
+
+
+@dataclass
+class MaintenanceReport:
+    """Counters describing a maintainer's activity so far."""
+
+    observations: int = 0
+    reestimations: int = 0
+    rolling_error: float = 0.0
+
+
+class ModelMaintainer:
+    """Keeps one forecast model healthy under a measurement stream.
+
+    Parameters
+    ----------
+    model:
+        A fitted forecast model.
+    estimator, budget:
+        How to re-estimate parameters when the strategy fires; the search is
+        warm-started from the model's current parameters.
+    strategy:
+        The evaluation strategy (time- or threshold-based).
+    history_capacity:
+        Number of trailing observations retained for refitting.
+    """
+
+    def __init__(
+        self,
+        model: ForecastModel,
+        estimator: Estimator,
+        strategy: EvaluationStrategy,
+        *,
+        budget: EstimationBudget | None = None,
+        history: TimeSeries | None = None,
+        history_capacity: int = 2048,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not model.is_fitted:
+            raise ForecastingError("maintainer needs an already fitted model")
+        self.model = model
+        self.estimator = estimator
+        self.strategy = strategy
+        self.budget = budget or EstimationBudget.of_evaluations(60)
+        self.rng = rng or np.random.default_rng(0)
+        self._history: deque[float] = deque(maxlen=history_capacity)
+        self._next_slice = 0
+        if history is not None:
+            self._history.extend(history.values)
+            self._next_slice = history.end
+        self.report = MaintenanceReport()
+
+    def observe(self, value: float) -> bool:
+        """Feed one new measurement; returns True if re-estimation happened."""
+        error = self.model.update(value)
+        self._history.append(float(value))
+        self._next_slice += 1
+        self.report.observations += 1
+
+        predicted = value - error
+        denominator = abs(value) + abs(predicted)
+        term = abs(error) / denominator if denominator > 0 else 0.0
+        if isinstance(self.strategy, ThresholdBasedEvaluation):
+            self.report.rolling_error = self.strategy.rolling_error
+
+        if not self.strategy.observe(term):
+            return False
+        self._reestimate()
+        self.strategy.reset()
+        self.report.reestimations += 1
+        return True
+
+    def observe_series(self, series: TimeSeries) -> int:
+        """Feed a whole series; returns the number of re-estimations."""
+        return sum(self.observe(float(v)) for v in series.values)
+
+    # ------------------------------------------------------------------
+    def _reestimate(self) -> None:
+        history = TimeSeries(
+            self._next_slice - len(self._history), list(self._history)
+        )
+        space = self.model.parameter_space
+        if space.dimension == 0:
+            self.model.fit(history)  # nothing to tune, just refit state
+            return
+        warm_start = getattr(self.model, "params", None)
+        result = self.estimator.estimate(
+            lambda p: self.model.insample_error(history, p),
+            space,
+            self.budget,
+            rng=self.rng,
+            initial=warm_start,
+        )
+        self.model.fit(history, result.params)

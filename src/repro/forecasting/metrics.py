@@ -1,0 +1,77 @@
+"""Forecast accuracy metrics.
+
+The paper reports SMAPE (symmetric mean absolute percentage error) in its
+forecasting experiments (Fig. 4); the other metrics are standard companions
+used by the maintenance and hierarchy components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ForecastingError
+
+__all__ = ["smape", "mape", "rmse", "mae", "mase"]
+
+
+def _as_pair(actual, predicted) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ForecastingError(f"shape mismatch: {a.shape} vs {p.shape}")
+    if a.size == 0:
+        raise ForecastingError("cannot score empty series")
+    return a, p
+
+
+def smape(actual, predicted) -> float:
+    """Symmetric MAPE in [0, 1]: ``mean(|a - p| / (|a| + |p|))``.
+
+    This is the normalisation the paper's Figure 4 axes use (values like
+    0.005); slices where both actual and predicted are zero contribute zero
+    error.
+    """
+    a, p = _as_pair(actual, predicted)
+    denominator = np.abs(a) + np.abs(p)
+    errors = np.zeros_like(a)
+    nonzero = denominator > 0
+    errors[nonzero] = np.abs(a - p)[nonzero] / denominator[nonzero]
+    return float(errors.mean())
+
+
+def mape(actual, predicted) -> float:
+    """Mean absolute percentage error over slices with non-zero actuals."""
+    a, p = _as_pair(actual, predicted)
+    nonzero = np.abs(a) > 0
+    if not nonzero.any():
+        raise ForecastingError("MAPE undefined: all actual values are zero")
+    return float((np.abs(a - p)[nonzero] / np.abs(a)[nonzero]).mean())
+
+
+def rmse(actual, predicted) -> float:
+    """Root mean squared error."""
+    a, p = _as_pair(actual, predicted)
+    return float(np.sqrt(((a - p) ** 2).mean()))
+
+
+def mae(actual, predicted) -> float:
+    """Mean absolute error."""
+    a, p = _as_pair(actual, predicted)
+    return float(np.abs(a - p).mean())
+
+
+def mase(actual, predicted, *, season_length: int = 1) -> float:
+    """Mean absolute scaled error against the seasonal-naive forecast.
+
+    Values below 1 beat predicting "same as one season ago" on the scored
+    window itself.
+    """
+    a, p = _as_pair(actual, predicted)
+    if len(a) <= season_length:
+        raise ForecastingError(
+            f"need more than season_length={season_length} observations"
+        )
+    naive_mae = np.abs(a[season_length:] - a[:-season_length]).mean()
+    if naive_mae == 0:
+        raise ForecastingError("MASE undefined: seasonal-naive error is zero")
+    return float(np.abs(a - p).mean() / naive_mae)

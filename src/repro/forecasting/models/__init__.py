@@ -1,0 +1,16 @@
+"""Forecast models: HWT, EGRV and naive baselines."""
+
+from .base import ForecastModel, ParameterSpace
+from .egrv import EGRVModel
+from .hwt import HoltWintersTaylor
+from .naive import MovingAverageModel, NaiveModel, SeasonalNaiveModel
+
+__all__ = [
+    "ForecastModel",
+    "ParameterSpace",
+    "EGRVModel",
+    "HoltWintersTaylor",
+    "MovingAverageModel",
+    "NaiveModel",
+    "SeasonalNaiveModel",
+]

@@ -1,0 +1,126 @@
+"""Forecast model interface.
+
+All MIRABEL forecast models share a small life cycle (paper §5):
+
+1. **creation** — :meth:`ForecastModel.fit` estimates state from history
+   given a parameter vector (found by an estimator from
+   :mod:`repro.forecasting.estimation`);
+2. **usage** — :meth:`ForecastModel.forecast` produces the next ``horizon``
+   values;
+3. **maintenance** — :meth:`ForecastModel.update` folds in one new
+   measurement with "a simple update of smoothing constants or the shift of
+   lagged input values", i.e. at low cost and without re-estimation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.errors import ForecastingError
+from ...core.timeseries import TimeSeries
+from ..metrics import smape
+
+__all__ = ["ParameterSpace", "ForecastModel"]
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """Box constraints for a model's tunable parameter vector."""
+
+    names: tuple[str, ...]
+    lower: tuple[float, ...]
+    upper: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not len(self.names) == len(self.lower) == len(self.upper):
+            raise ForecastingError("parameter space fields must align")
+        for name, lo, hi in zip(self.names, self.lower, self.upper):
+            if hi < lo:
+                raise ForecastingError(f"empty range for parameter {name}")
+
+    @property
+    def dimension(self) -> int:
+        """Number of tunable parameters."""
+        return len(self.names)
+
+    def clip(self, params: np.ndarray) -> np.ndarray:
+        """Project a vector onto the box."""
+        return np.clip(params, self.lower, self.upper)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniform random point inside the box."""
+        lo = np.asarray(self.lower)
+        hi = np.asarray(self.upper)
+        return lo + rng.random(self.dimension) * (hi - lo)
+
+    def center(self) -> np.ndarray:
+        """Box mid-point — a deterministic starting guess."""
+        return (np.asarray(self.lower) + np.asarray(self.upper)) / 2.0
+
+
+class ForecastModel(ABC):
+    """Abstract forecast model over a slice-indexed time series."""
+
+    @property
+    @abstractmethod
+    def parameter_space(self) -> ParameterSpace:
+        """Tunable parameters and their bounds."""
+
+    @property
+    @abstractmethod
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+
+    @abstractmethod
+    def fit(self, history: TimeSeries, params: np.ndarray | None = None) -> "ForecastModel":
+        """Estimate model state from ``history`` under ``params``.
+
+        ``None`` uses the model's default parameters.  Returns ``self`` for
+        chaining.
+        """
+
+    @abstractmethod
+    def forecast(self, horizon: int) -> TimeSeries:
+        """Forecast the next ``horizon`` slices after the last seen value."""
+
+    @abstractmethod
+    def update(self, value: float) -> float:
+        """Fold in the next observed value; return the one-step-ahead error
+        the model made on it (used by threshold-based evaluation)."""
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise ForecastingError(
+                f"{type(self).__name__} must be fitted before use"
+            )
+
+    def insample_error(self, history: TimeSeries, params: np.ndarray) -> float:
+        """One-step-ahead SMAPE over ``history`` under ``params``.
+
+        The default objective minimised by parameter estimators: refit on the
+        history and score the one-step-ahead predictions the state recursion
+        produced.  Models that track their in-sample predictions override
+        :meth:`_insample_predictions`.
+        """
+        fitted = type(self)(**self._constructor_kwargs()).fit(history, params)
+        predicted = fitted._insample_predictions()
+        skip = fitted._warmup_length()
+        actual = history.values[skip : skip + len(predicted)]
+        return smape(actual, predicted[: len(actual)])
+
+    def _constructor_kwargs(self) -> dict:
+        """Keyword arguments recreating this model's configuration."""
+        return {}
+
+    def _insample_predictions(self) -> np.ndarray:  # pragma: no cover
+        raise ForecastingError(
+            f"{type(self).__name__} does not expose in-sample predictions"
+        )
+
+    def _warmup_length(self) -> int:
+        """Leading slices excluded from in-sample scoring."""
+        return 0

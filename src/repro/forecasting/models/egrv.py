@@ -1,0 +1,236 @@
+"""EGRV — the Engle/Granger/Ramanathan/Vahid-Araghi multi-equation model.
+
+The paper's primary demand model (§5): "a multi-equation energy demand
+forecast model that uses an individual model for each intra-day period (e.g.,
+one model for each hour)", conditioned on weather, calendar events and lagged
+loads [Ramanathan et al. 1997].
+
+Each intra-day period ``p`` gets its own linear regression
+
+.. math::
+
+    y_{d,p} = \\beta_p^T x_{d,p} + \\varepsilon_{d,p}
+
+over features: intercept, linear trend, day-type dummies, holiday flag,
+heating/cooling degree terms from temperature, and the loads one day and one
+week earlier at the same period.  Equations are independent, so model
+creation can be **parallelised across periods** — the paper's "parallelized
+model creation" optimisation (`n_jobs`).
+
+The single tunable parameter exposed to the estimators is the ridge penalty
+``lambda`` (the coefficients themselves are estimated in closed form).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ...core.errors import ForecastingError
+from ...core.timebase import TimeAxis
+from ...core.timeseries import TimeSeries
+from ...datagen.calendar import CalendarModel, DayType
+from .base import ForecastModel, ParameterSpace
+
+__all__ = ["EGRVModel"]
+
+
+class EGRVModel(ForecastModel):
+    """Multi-equation regression demand model.
+
+    Parameters
+    ----------
+    axis:
+        Time axis of the series (defines the number of intra-day periods).
+    temperature:
+        Optional exogenous temperature series covering the training history
+        and any forecast window; omitted terms simply drop out.
+    calendar:
+        Calendar for day-type features (defaults to a standard
+        :class:`CalendarModel` on ``axis``).
+    n_jobs:
+        Number of worker threads fitting the independent per-period
+        equations (1 = sequential).
+    """
+
+    def __init__(
+        self,
+        axis: TimeAxis,
+        *,
+        temperature: TimeSeries | None = None,
+        calendar: CalendarModel | None = None,
+        n_jobs: int = 1,
+        heating_threshold_c: float = 15.0,
+        cooling_threshold_c: float = 21.0,
+    ) -> None:
+        if n_jobs < 1:
+            raise ForecastingError("n_jobs must be >= 1")
+        self.axis = axis
+        self.temperature = temperature
+        self.calendar = calendar or CalendarModel(axis)
+        self.n_jobs = n_jobs
+        self.heating_threshold_c = heating_threshold_c
+        self.cooling_threshold_c = cooling_threshold_c
+        self._coefficients: np.ndarray | None = None  # (periods, features)
+        self._history: np.ndarray = np.zeros(0)
+        self._start = 0
+        self._end = 0
+        self._predictions: np.ndarray = np.zeros(0)
+
+    # ------------------------------------------------------------------
+    @property
+    def parameter_space(self) -> ParameterSpace:
+        return ParameterSpace(("ridge_lambda",), (0.0,), (100.0,))
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._coefficients is not None
+
+    def _constructor_kwargs(self) -> dict:
+        return {
+            "axis": self.axis,
+            "temperature": self.temperature,
+            "calendar": self.calendar,
+            "n_jobs": self.n_jobs,
+            "heating_threshold_c": self.heating_threshold_c,
+            "cooling_threshold_c": self.cooling_threshold_c,
+        }
+
+    # ------------------------------------------------------------------
+    # feature construction
+    # ------------------------------------------------------------------
+    def _temperature_at(self, slice_index: int) -> float | None:
+        temp = self.temperature
+        if temp is None or not temp.covers(slice_index, slice_index + 1):
+            return None
+        return temp.at(slice_index)
+
+    def _features(
+        self, slice_index: int, lag_day: float, lag_week: float
+    ) -> np.ndarray:
+        """Feature vector for one observation."""
+        per_week = self.axis.slices_per_week
+        day_type = self.calendar.day_type(slice_index)
+        temp = self._temperature_at(slice_index)
+        heating = cooling = 0.0
+        if temp is not None:
+            heating = max(0.0, self.heating_threshold_c - temp)
+            cooling = max(0.0, temp - self.cooling_threshold_c)
+        return np.array(
+            [
+                1.0,
+                slice_index / per_week,  # slow trend, in weeks
+                1.0 if day_type == DayType.SATURDAY else 0.0,
+                1.0 if day_type == DayType.SUNDAY else 0.0,
+                1.0 if day_type == DayType.HOLIDAY else 0.0,
+                heating,
+                cooling,
+                lag_day,
+                lag_week,
+            ]
+        )
+
+    _N_FEATURES = 9
+
+    # ------------------------------------------------------------------
+    def fit(self, history: TimeSeries, params: np.ndarray | None = None) -> "EGRVModel":
+        """Fit one ridge regression per intra-day period.
+
+        Needs at least three weeks of data (one week of lags plus enough
+        observations per equation).
+        """
+        per_day = self.axis.slices_per_day
+        per_week = self.axis.slices_per_week
+        if len(history) < per_week * 3:
+            raise ForecastingError(
+                f"need >= {per_week * 3} observations (3 weeks), got {len(history)}"
+            )
+        ridge = 1.0 if params is None else float(np.asarray(params, float).ravel()[0])
+        ridge = max(0.0, ridge)
+
+        values = history.values
+        start = history.start
+        rows_per_period: list[list[np.ndarray]] = [[] for _ in range(per_day)]
+        targets_per_period: list[list[float]] = [[] for _ in range(per_day)]
+        obs_index: list[tuple[int, int]] = []  # (period, row) per observation
+        for i in range(per_week, len(values)):
+            s = start + i
+            period = self.axis.slice_of_day(s)
+            x = self._features(s, values[i - per_day], values[i - per_week])
+            obs_index.append((period, len(rows_per_period[period])))
+            rows_per_period[period].append(x)
+            targets_per_period[period].append(values[i])
+
+        coefficients = np.zeros((per_day, self._N_FEATURES))
+        preds_per_period: list[np.ndarray] = [np.zeros(0)] * per_day
+
+        def fit_equation(period: int) -> None:
+            X = np.asarray(rows_per_period[period])
+            y = np.asarray(targets_per_period[period])
+            if len(y) <= self._N_FEATURES:
+                raise ForecastingError(
+                    f"period {period}: {len(y)} observations cannot identify "
+                    f"{self._N_FEATURES} coefficients"
+                )
+            if ridge > 0:
+                gram = X.T @ X + ridge * np.eye(self._N_FEATURES)
+                beta = np.linalg.solve(gram, X.T @ y)
+            else:
+                # Plain OLS via least squares: robust to rank deficiency
+                # (e.g. an all-zero holiday dummy in a holiday-free window).
+                beta, *_ = np.linalg.lstsq(X, y, rcond=None)
+            coefficients[period] = beta
+            preds_per_period[period] = X @ beta
+
+        if self.n_jobs == 1:
+            for period in range(per_day):
+                fit_equation(period)
+        else:
+            with ThreadPoolExecutor(max_workers=self.n_jobs) as pool:
+                list(pool.map(fit_equation, range(per_day)))
+
+        self._coefficients = coefficients
+        self._history = values.copy()
+        self._start = start
+        self._end = history.end
+        self._predictions = np.array(
+            [preds_per_period[p][r] for p, r in obs_index]
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def forecast(self, horizon: int) -> TimeSeries:
+        """Forecast recursively, feeding predictions back as lagged loads."""
+        self._require_fitted()
+        if horizon <= 0:
+            raise ForecastingError("horizon must be positive")
+        per_day = self.axis.slices_per_day
+        per_week = self.axis.slices_per_week
+        extended = list(self._history)
+        out = np.empty(horizon)
+        for h in range(horizon):
+            s = self._end + h
+            lag_day = extended[len(extended) - per_day]
+            lag_week = extended[len(extended) - per_week]
+            x = self._features(s, lag_day, lag_week)
+            period = self.axis.slice_of_day(s)
+            value = float(self._coefficients[period] @ x)
+            out[h] = value
+            extended.append(value)
+        return TimeSeries(self._end, out)
+
+    def update(self, value: float) -> float:
+        """Shift the lagged inputs by one observation (O(1) amortised)."""
+        self._require_fitted()
+        predicted = float(self.forecast(1).values[0])
+        self._history = np.append(self._history, float(value))
+        self._end += 1
+        return float(value) - predicted
+
+    # ------------------------------------------------------------------
+    def _insample_predictions(self) -> np.ndarray:
+        return self._predictions
+
+    def _warmup_length(self) -> int:
+        return self.axis.slices_per_week

@@ -1,0 +1,158 @@
+"""Baseline forecast models: naive, seasonal-naive and moving average.
+
+These are the sanity floor for every forecasting experiment — a tuned model
+that cannot beat the seasonal-naive baseline on multi-seasonal demand data is
+mis-implemented.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ...core.errors import ForecastingError
+from ...core.timeseries import TimeSeries
+from .base import ForecastModel, ParameterSpace
+
+__all__ = ["NaiveModel", "SeasonalNaiveModel", "MovingAverageModel"]
+
+
+class NaiveModel(ForecastModel):
+    """Predicts the last observed value for every future slice."""
+
+    def __init__(self) -> None:
+        self._last: float | None = None
+        self._end = 0
+        self._predictions: list[float] = []
+
+    @property
+    def parameter_space(self) -> ParameterSpace:
+        return ParameterSpace((), (), ())
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._last is not None
+
+    def fit(self, history: TimeSeries, params=None) -> "NaiveModel":
+        if len(history) == 0:
+            raise ForecastingError("history must be non-empty")
+        values = history.values
+        self._predictions = [values[0], *values[:-1]]
+        self._last = float(values[-1])
+        self._end = history.end
+        return self
+
+    def forecast(self, horizon: int) -> TimeSeries:
+        self._require_fitted()
+        return TimeSeries(self._end, np.full(horizon, self._last))
+
+    def update(self, value: float) -> float:
+        self._require_fitted()
+        error = value - self._last
+        self._last = float(value)
+        self._end += 1
+        return error
+
+    def _insample_predictions(self) -> np.ndarray:
+        return np.asarray(self._predictions)
+
+    def _warmup_length(self) -> int:
+        return 1
+
+
+class SeasonalNaiveModel(ForecastModel):
+    """Predicts the value one season ago (default: one day)."""
+
+    def __init__(self, season_length: int = 48) -> None:
+        if season_length <= 0:
+            raise ForecastingError("season_length must be positive")
+        self.season_length = season_length
+        self._buffer: deque[float] | None = None
+        self._end = 0
+        self._predictions: list[float] = []
+
+    @property
+    def parameter_space(self) -> ParameterSpace:
+        return ParameterSpace((), (), ())
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._buffer is not None
+
+    def _constructor_kwargs(self) -> dict:
+        return {"season_length": self.season_length}
+
+    def fit(self, history: TimeSeries, params=None) -> "SeasonalNaiveModel":
+        m = self.season_length
+        if len(history) < m:
+            raise ForecastingError(
+                f"need at least one season ({m} slices), got {len(history)}"
+            )
+        values = history.values
+        self._predictions = list(values[:-m][: len(values) - m])
+        self._buffer = deque(values[-m:], maxlen=m)
+        self._end = history.end
+        return self
+
+    def forecast(self, horizon: int) -> TimeSeries:
+        self._require_fitted()
+        season = np.asarray(self._buffer)
+        reps = int(np.ceil(horizon / self.season_length))
+        return TimeSeries(self._end, np.tile(season, reps)[:horizon])
+
+    def update(self, value: float) -> float:
+        self._require_fitted()
+        error = value - self._buffer[0]
+        self._buffer.append(value)
+        self._end += 1
+        return error
+
+    def _insample_predictions(self) -> np.ndarray:
+        return np.asarray(self._predictions)
+
+    def _warmup_length(self) -> int:
+        return self.season_length
+
+
+class MovingAverageModel(ForecastModel):
+    """Predicts the mean of the last ``window`` observations."""
+
+    def __init__(self, window: int = 48) -> None:
+        if window <= 0:
+            raise ForecastingError("window must be positive")
+        self.window = window
+        self._buffer: deque[float] | None = None
+        self._end = 0
+
+    @property
+    def parameter_space(self) -> ParameterSpace:
+        return ParameterSpace((), (), ())
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._buffer is not None
+
+    def _constructor_kwargs(self) -> dict:
+        return {"window": self.window}
+
+    def fit(self, history: TimeSeries, params=None) -> "MovingAverageModel":
+        if len(history) < self.window:
+            raise ForecastingError(
+                f"need at least window={self.window} slices, got {len(history)}"
+            )
+        self._buffer = deque(history.values[-self.window :], maxlen=self.window)
+        self._end = history.end
+        return self
+
+    def forecast(self, horizon: int) -> TimeSeries:
+        self._require_fitted()
+        mean = float(np.mean(self._buffer))
+        return TimeSeries(self._end, np.full(horizon, mean))
+
+    def update(self, value: float) -> float:
+        self._require_fitted()
+        error = value - float(np.mean(self._buffer))
+        self._buffer.append(value)
+        self._end += 1
+        return error

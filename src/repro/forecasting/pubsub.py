@@ -1,0 +1,128 @@
+"""Publish-subscribe forecast queries (paper §5).
+
+"The scheduling component does not always need or even not want to have the
+most up-to-date forecast values as every new forecast value triggers the
+computationally expensive maintenance of schedules.  Only if forecast values
+change significantly, notifications are required."
+
+A :class:`ForecastPublisher` wraps a forecast model.  Consumers register
+:class:`ForecastSubscription`\\ s (horizon + significance threshold); each new
+measurement updates the model, and a subscriber is notified only when the
+fresh forecast deviates from the last one it received by more than its
+threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.errors import ForecastingError
+from ..core.timeseries import TimeSeries
+from .models.base import ForecastModel
+
+__all__ = ["ForecastSubscription", "ForecastPublisher"]
+
+
+@dataclass
+class ForecastSubscription:
+    """A continuous forecast query.
+
+    ``threshold`` is the relative mean absolute deviation (w.r.t. the mean
+    absolute level of the previously delivered forecast) above which the
+    change counts as *significant*; ``callback`` receives the new forecast.
+    """
+
+    subscriber: str
+    horizon: int
+    threshold: float
+    callback: Callable[[TimeSeries], None] = lambda forecast: None
+    last_delivered: TimeSeries | None = field(default=None, repr=False)
+    notifications: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ForecastingError("horizon must be positive")
+        if self.threshold < 0:
+            raise ForecastingError("threshold must be non-negative")
+
+
+class ForecastPublisher:
+    """Pushes significant forecast changes to registered subscribers."""
+
+    def __init__(self, model: ForecastModel):
+        if not model.is_fitted:
+            raise ForecastingError("publisher needs a fitted model")
+        self.model = model
+        self._subscriptions: list[ForecastSubscription] = []
+        self.measurements = 0
+
+    def subscribe(
+        self,
+        subscriber: str,
+        horizon: int,
+        threshold: float,
+        callback: Callable[[TimeSeries], None] | None = None,
+    ) -> ForecastSubscription:
+        """Register a continuous forecast query; delivers once immediately."""
+        subscription = ForecastSubscription(
+            subscriber, horizon, threshold, callback or (lambda f: None)
+        )
+        self._subscriptions.append(subscription)
+        self._deliver(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: ForecastSubscription) -> None:
+        """Remove a subscription."""
+        self._subscriptions.remove(subscription)
+
+    @property
+    def subscriptions(self) -> tuple[ForecastSubscription, ...]:
+        """Currently registered subscriptions."""
+        return tuple(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    def on_measurement(self, value: float) -> list[ForecastSubscription]:
+        """Update the model with one measurement; notify where significant.
+
+        Returns the subscriptions that were notified.
+        """
+        self.model.update(float(value))
+        self.measurements += 1
+        notified = []
+        for subscription in self._subscriptions:
+            if self._significant_change(subscription):
+                self._deliver(subscription)
+                notified.append(subscription)
+        return notified
+
+    def on_series(self, series: TimeSeries) -> int:
+        """Feed a whole series; returns the total number of notifications."""
+        return sum(len(self.on_measurement(v)) for v in series.values)
+
+    # ------------------------------------------------------------------
+    def _significant_change(self, subscription: ForecastSubscription) -> bool:
+        previous = subscription.last_delivered
+        fresh = self.model.forecast(subscription.horizon)
+        if previous is None:
+            return True
+        # Compare on the overlap of the two forecast windows: the previous
+        # forecast has aged by however many measurements arrived since.
+        overlap_start = max(previous.start, fresh.start)
+        overlap_end = min(previous.end, fresh.end)
+        if overlap_end <= overlap_start:
+            return True
+        old = previous.window(overlap_start, overlap_end).values
+        new = fresh.window(overlap_start, overlap_end).values
+        scale = np.abs(old).mean()
+        if scale == 0:
+            return bool(np.abs(new - old).mean() > 0)
+        return float(np.abs(new - old).mean() / scale) > subscription.threshold
+
+    def _deliver(self, subscription: ForecastSubscription) -> None:
+        forecast = self.model.forecast(subscription.horizon)
+        subscription.last_delivered = forecast
+        subscription.notifications += 1
+        subscription.callback(forecast)

@@ -1,0 +1,29 @@
+"""Flex-offer pricing and negotiation (paper §7).
+
+Public API::
+
+    from repro.negotiation import (
+        PotentialModel, FlexibilityPotentials, sigmoid_potential,
+        MonetizeFlexibilityPolicy, ProfitSharingPolicy, PriceQuote,
+        AcceptancePolicy, Decision, Negotiator,
+    )
+"""
+
+from .acceptance import AcceptancePolicy, AcceptanceVerdict, Decision
+from .negotiator import NegotiationOutcome, Negotiator
+from .potentials import FlexibilityPotentials, PotentialModel, sigmoid_potential
+from .pricing import MonetizeFlexibilityPolicy, PriceQuote, ProfitSharingPolicy
+
+__all__ = [
+    "AcceptancePolicy",
+    "AcceptanceVerdict",
+    "Decision",
+    "NegotiationOutcome",
+    "Negotiator",
+    "FlexibilityPotentials",
+    "PotentialModel",
+    "sigmoid_potential",
+    "MonetizeFlexibilityPolicy",
+    "PriceQuote",
+    "ProfitSharingPolicy",
+]

@@ -1,0 +1,77 @@
+"""Flex-offer acceptance (paper §7).
+
+"Before taking a flex-offer into account the BRP has to decide whether it is
+potentially profitable.  The BRP must be able to reject a flex-offer that
+generate[s] loss or can not be processed in time."  Rejection does not forbid
+the prosumer's consumption — "the BRP just waives the option to control the
+load"; the prosumer falls back to the plain tariff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.errors import NegotiationError
+from ..core.flexoffer import FlexOffer
+from .pricing import MonetizeFlexibilityPolicy
+
+__all__ = ["Decision", "AcceptanceVerdict", "AcceptancePolicy"]
+
+
+class Decision(Enum):
+    """Outcome of the BRP's acceptance check."""
+
+    ACCEPTED = "accepted"
+    REJECTED_UNPROFITABLE = "rejected-unprofitable"
+    REJECTED_TOO_LATE = "rejected-too-late"
+
+
+@dataclass(frozen=True)
+class AcceptanceVerdict:
+    """Decision plus the numbers it was based on."""
+
+    offer_id: int
+    decision: Decision
+    estimated_value_eur: float
+    processing_cost_eur: float
+
+    @property
+    def accepted(self) -> bool:
+        return self.decision is Decision.ACCEPTED
+
+
+@dataclass(frozen=True)
+class AcceptancePolicy:
+    """Accept when value covers costs and there is time to process.
+
+    ``min_processing_slices`` is "a minimum of time [the BRP needs] to
+    process a flex-offer"; offers whose assignment deadline is nearer than
+    that are rejected as too late.
+    """
+
+    pricing: MonetizeFlexibilityPolicy = MonetizeFlexibilityPolicy()
+    processing_cost_eur: float = 0.05
+    min_processing_slices: int = 2
+
+    def __post_init__(self) -> None:
+        if self.processing_cost_eur < 0:
+            raise NegotiationError("processing_cost_eur must be non-negative")
+        if self.min_processing_slices < 0:
+            raise NegotiationError("min_processing_slices must be non-negative")
+
+    def decide(self, offer: FlexOffer, now: int) -> AcceptanceVerdict:
+        """The BRP's verdict on one incoming flex-offer at slice ``now``."""
+        value = self.pricing.value(offer, now)
+        if offer.assignment_flexibility(now) < self.min_processing_slices:
+            decision = Decision.REJECTED_TOO_LATE
+        elif value <= self.processing_cost_eur:
+            decision = Decision.REJECTED_UNPROFITABLE
+        else:
+            decision = Decision.ACCEPTED
+        return AcceptanceVerdict(
+            offer_id=offer.offer_id,
+            decision=decision,
+            estimated_value_eur=value,
+            processing_cost_eur=self.processing_cost_eur,
+        )

@@ -1,0 +1,118 @@
+"""Prosumer-BRP price negotiation (paper §7).
+
+"Negotiation in MIRABEL finds an agreement between the prosumer and its BRP
+about the price for flex-offers."  The protocol implemented here is a simple
+alternating-offers loop: the BRP opens with its (margin-reduced) quote, the
+prosumer holds a private reservation price, and both concede geometrically
+until they cross or the round limit is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import NegotiationError
+from ..core.flexoffer import FlexOffer
+from .acceptance import AcceptancePolicy, Decision
+from .pricing import MonetizeFlexibilityPolicy, PriceQuote
+
+__all__ = ["NegotiationOutcome", "Negotiator"]
+
+
+@dataclass(frozen=True)
+class NegotiationOutcome:
+    """Result of negotiating one flex-offer."""
+
+    offer_id: int
+    agreed: bool
+    price_eur: float
+    rounds: int
+    decision: Decision
+
+    @property
+    def rejected(self) -> bool:
+        return not self.agreed
+
+
+class Negotiator:
+    """Alternating-offers negotiation between a BRP and a prosumer.
+
+    Parameters
+    ----------
+    acceptance:
+        The BRP-side gate (value & timing); offers it rejects never enter
+        price talks.
+    concession:
+        Per-round geometric concession factor for both parties (0 = none,
+        1 = immediate capitulation).
+    max_rounds:
+        Bargaining rounds before talks fail.
+    """
+
+    def __init__(
+        self,
+        acceptance: AcceptancePolicy | None = None,
+        *,
+        concession: float = 0.2,
+        max_rounds: int = 8,
+    ) -> None:
+        if not 0 < concession < 1:
+            raise NegotiationError("concession must be in (0, 1)")
+        if max_rounds < 1:
+            raise NegotiationError("max_rounds must be positive")
+        self.acceptance = acceptance or AcceptancePolicy()
+        self.concession = concession
+        self.max_rounds = max_rounds
+
+    @property
+    def pricing(self) -> MonetizeFlexibilityPolicy:
+        return self.acceptance.pricing
+
+    def negotiate(
+        self,
+        offer: FlexOffer,
+        now: int,
+        *,
+        prosumer_reservation_eur: float = 0.0,
+    ) -> NegotiationOutcome:
+        """Negotiate one flex-offer; returns the outcome.
+
+        The BRP never pays more than the offer's estimated value minus the
+        processing cost; the prosumer never accepts less than the
+        reservation price.  Agreement lands mid-way when the concession paths
+        cross.
+        """
+        verdict = self.acceptance.decide(offer, now)
+        if not verdict.accepted:
+            return NegotiationOutcome(
+                offer.offer_id, False, 0.0, 0, verdict.decision
+            )
+
+        brp_ceiling = verdict.estimated_value_eur - verdict.processing_cost_eur
+        if prosumer_reservation_eur > brp_ceiling:
+            # No zone of agreement can ever open up.
+            bid = self.pricing.quote(offer, now).amount_eur
+            ask = max(prosumer_reservation_eur, brp_ceiling * 1.5)
+            for round_index in range(1, self.max_rounds + 1):
+                bid = min(brp_ceiling, bid + self.concession * (brp_ceiling - bid) + 1e-12)
+                ask = max(prosumer_reservation_eur, ask - self.concession * (ask - prosumer_reservation_eur))
+                if bid >= ask:
+                    break
+            return NegotiationOutcome(
+                offer.offer_id, False, 0.0, self.max_rounds,
+                Decision.REJECTED_UNPROFITABLE,
+            )
+
+        bid = self.pricing.quote(offer, now).amount_eur  # BRP opens low
+        ask = brp_ceiling  # prosumer opens at the BRP's ceiling
+        rounds = 0
+        while rounds < self.max_rounds:
+            rounds += 1
+            if bid + 1e-12 >= ask:
+                break
+            bid = bid + self.concession * (brp_ceiling - bid)
+            ask = ask - self.concession * (ask - prosumer_reservation_eur)
+        price = min(brp_ceiling, max((bid + ask) / 2.0, prosumer_reservation_eur))
+        return NegotiationOutcome(
+            offer.offer_id, True, price, rounds, Decision.ACCEPTED
+        )

@@ -1,0 +1,112 @@
+"""Flexibility potentials (paper §7, "Monetize Flexibility").
+
+A flex-offer's value to the BRP stems from three flexibility parameters:
+
+* **assignment flexibility** — time left for (re)scheduling; anything beyond
+  the next day-ahead trading period is marginalised, because by then the BRP
+  can simply trade the energy instead;
+* **scheduling flexibility** — the width of the admissible start window;
+* **energy flexibility** — the dispatchable energy range, "above zero and
+  [below] the grid capacity".
+
+"Each of the described flexibility parameters can be normalized to
+flexibility potentials by applying a function, e.g. the sigmoid function,
+that maps the flexibility parameter to [a] value between 0 and 1."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import NegotiationError
+from ..core.flexoffer import FlexOffer
+
+__all__ = ["sigmoid_potential", "FlexibilityPotentials", "PotentialModel"]
+
+
+def sigmoid_potential(value: float, midpoint: float, steepness: float) -> float:
+    """Logistic normalisation of a flexibility parameter to (0, 1).
+
+    ``midpoint`` is the parameter value mapped to 0.5; ``steepness`` controls
+    how quickly the potential saturates.  Zero-valued parameters map close to
+    0 for sensible midpoints, so inflexible offers earn (almost) nothing.
+    """
+    if steepness <= 0:
+        raise NegotiationError("steepness must be positive")
+    z = (value - midpoint) / steepness
+    # guard against overflow for extreme parameter values
+    if z > 60:
+        return 1.0
+    if z < -60:
+        return 0.0
+    return 1.0 / (1.0 + math.exp(-z))
+
+
+@dataclass(frozen=True)
+class FlexibilityPotentials:
+    """The three normalised potentials of one flex-offer (each in [0, 1])."""
+
+    assignment: float
+    scheduling: float
+    energy: float
+
+    def weighted_value(
+        self, assignment_weight: float, scheduling_weight: float, energy_weight: float
+    ) -> float:
+        """Weighted sum of the potentials — "the total value of each
+        flex-offer"."""
+        return (
+            assignment_weight * self.assignment
+            + scheduling_weight * self.scheduling
+            + energy_weight * self.energy
+        )
+
+
+@dataclass(frozen=True)
+class PotentialModel:
+    """Maps flex-offer parameters to potentials via sigmoids.
+
+    Parameters
+    ----------
+    trading_lead_slices:
+        Slices until the next day-ahead trading period; assignment
+        flexibility is capped there (the marginalisation rule).
+    grid_capacity_kwh:
+        Per-offer cap on usable energy flexibility.
+    *_midpoint / *_steepness:
+        Sigmoid shapes for the three parameters (slices / slices / kWh).
+    """
+
+    trading_lead_slices: int = 48
+    grid_capacity_kwh: float = 1000.0
+    assignment_midpoint: float = 12.0
+    assignment_steepness: float = 4.0
+    scheduling_midpoint: float = 8.0
+    scheduling_steepness: float = 3.0
+    energy_midpoint: float = 4.0
+    energy_steepness: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.trading_lead_slices < 0:
+            raise NegotiationError("trading_lead_slices must be non-negative")
+        if self.grid_capacity_kwh <= 0:
+            raise NegotiationError("grid_capacity_kwh must be positive")
+
+    def potentials(self, offer: FlexOffer, now: int) -> FlexibilityPotentials:
+        """Normalised potentials of ``offer`` as seen at slice ``now``."""
+        assignment = min(offer.assignment_flexibility(now), self.trading_lead_slices)
+        energy = min(offer.total_energy_flexibility, self.grid_capacity_kwh)
+        return FlexibilityPotentials(
+            assignment=sigmoid_potential(
+                assignment, self.assignment_midpoint, self.assignment_steepness
+            ),
+            scheduling=sigmoid_potential(
+                offer.time_flexibility,
+                self.scheduling_midpoint,
+                self.scheduling_steepness,
+            ),
+            energy=sigmoid_potential(
+                energy, self.energy_midpoint, self.energy_steepness
+            ),
+        )

@@ -1,0 +1,117 @@
+"""Price-setting schemes for flex-offers (paper §7).
+
+Two schemes, matching the paper exactly:
+
+* :class:`MonetizeFlexibilityPolicy` — **ex ante**: the weighted sum of the
+  sigmoid-normalised flexibility potentials, computable *before* execution
+  and therefore usable as an acceptance criterion;
+* :class:`ProfitSharingPolicy` — **ex post**: "the BRP calculates the
+  realized profit that this flex-offer has generated and shares it with the
+  Prosumer"; incentives follow realised value but cannot gate acceptance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import NegotiationError
+from ..core.flexoffer import FlexOffer
+from ..core.schedule import ScheduledFlexOffer
+from .potentials import PotentialModel
+
+__all__ = ["PriceQuote", "MonetizeFlexibilityPolicy", "ProfitSharingPolicy"]
+
+
+@dataclass(frozen=True)
+class PriceQuote:
+    """A compensation offer to the prosumer.
+
+    ``amount_eur`` is the flat compensation for providing the flexibility;
+    ``is_binding`` distinguishes ex-ante quotes (binding, usable for
+    acceptance) from ex-post settlements.
+    """
+
+    offer_id: int
+    amount_eur: float
+    is_binding: bool
+    scheme: str
+
+
+@dataclass(frozen=True)
+class MonetizeFlexibilityPolicy:
+    """Ex-ante pricing: value = weighted potentials × scale (EUR).
+
+    The weights express the BRP's business strategy (e.g. a wind-heavy BRP
+    values scheduling flexibility more than assignment flexibility).
+    """
+
+    potential_model: PotentialModel = PotentialModel()
+    assignment_weight: float = 0.2
+    scheduling_weight: float = 0.5
+    energy_weight: float = 0.3
+    value_scale_eur: float = 1.0
+
+    def __post_init__(self) -> None:
+        weights = (
+            self.assignment_weight,
+            self.scheduling_weight,
+            self.energy_weight,
+        )
+        if any(w < 0 for w in weights):
+            raise NegotiationError("weights must be non-negative")
+        if sum(weights) == 0:
+            raise NegotiationError("at least one weight must be positive")
+        if self.value_scale_eur < 0:
+            raise NegotiationError("value_scale_eur must be non-negative")
+
+    def value(self, offer: FlexOffer, now: int) -> float:
+        """The flex-offer's estimated value to the BRP (EUR), ex ante."""
+        potentials = self.potential_model.potentials(offer, now)
+        return self.value_scale_eur * potentials.weighted_value(
+            self.assignment_weight, self.scheduling_weight, self.energy_weight
+        )
+
+    def quote(self, offer: FlexOffer, now: int, *, margin: float = 0.2) -> PriceQuote:
+        """Binding compensation quote: the value minus the BRP's margin."""
+        if not 0 <= margin < 1:
+            raise NegotiationError("margin must be in [0, 1)")
+        return PriceQuote(
+            offer_id=offer.offer_id,
+            amount_eur=(1.0 - margin) * self.value(offer, now),
+            is_binding=True,
+            scheme="monetize-flexibility",
+        )
+
+
+@dataclass(frozen=True)
+class ProfitSharingPolicy:
+    """Ex-post pricing: share the realised profit with the prosumer.
+
+    The realised profit of a scheduled flex-offer is the cost the BRP would
+    have paid had the offer been inflexible (executed at its earliest start,
+    at minimum energy) minus the cost of the actual execution; both are
+    computed against the same cost oracle (a callable mapping a
+    :class:`ScheduledFlexOffer` to EUR, typically closed over the final
+    schedule's residuals).
+    """
+
+    share: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.share <= 1:
+            raise NegotiationError("share must be in [0, 1]")
+
+    def settle(
+        self,
+        executed: ScheduledFlexOffer,
+        cost_oracle,
+    ) -> PriceQuote:
+        """Compensation after execution: ``share × max(0, realised profit)``."""
+        baseline = ScheduledFlexOffer.at_minimum(executed.offer)
+        realised_profit = float(cost_oracle(baseline)) - float(cost_oracle(executed))
+        return PriceQuote(
+            offer_id=executed.offer.offer_id,
+            amount_eur=self.share * max(0.0, realised_profit),
+            is_binding=False,
+            scheme="profit-sharing",
+        )

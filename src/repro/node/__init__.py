@@ -1,0 +1,48 @@
+"""Node architecture and the 3-level EDMS hierarchy (paper §§2-3, 8).
+
+Public API::
+
+    from repro.node import (
+        Message, MessageType, MessageBus,
+        Device, BaseLoad, EVCharger, WashingMachine, SolarPanel, MicroCHP,
+        ProsumerNode, BrpNode, TsoNode,
+        ScenarioConfig, HierarchySimulation, BalancingReport,
+    )
+"""
+
+from .bus import MessageBus
+from .devices import (
+    BaseLoad,
+    Device,
+    EVCharger,
+    HeatPump,
+    MicroCHP,
+    SolarPanel,
+    WashingMachine,
+    default_household,
+)
+from .messages import Message, MessageType
+from .node import BrpDayResult, BrpNode, LedmsNode, ProsumerNode, TsoNode
+from .simulation import BalancingReport, HierarchySimulation, ScenarioConfig
+
+__all__ = [
+    "MessageBus",
+    "Message",
+    "MessageType",
+    "Device",
+    "BaseLoad",
+    "EVCharger",
+    "HeatPump",
+    "WashingMachine",
+    "SolarPanel",
+    "MicroCHP",
+    "default_household",
+    "LedmsNode",
+    "ProsumerNode",
+    "BrpNode",
+    "TsoNode",
+    "BrpDayResult",
+    "ScenarioConfig",
+    "HierarchySimulation",
+    "BalancingReport",
+]

@@ -1,0 +1,47 @@
+"""Messages exchanged between LEDMS nodes (paper §3, Communication).
+
+"The Communication component is responsible for exchanging messages
+(flex-offers, supply and demand measurements, forecasts, etc.) between the
+current and other LEDMSs nodes."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = ["MessageType", "Message"]
+
+_sequence = itertools.count(1)
+
+
+class MessageType(Enum):
+    """The message vocabulary of the EDMS."""
+
+    FLEX_OFFER_SUBMIT = "flex-offer-submit"
+    FLEX_OFFER_ACCEPT = "flex-offer-accept"
+    FLEX_OFFER_REJECT = "flex-offer-reject"
+    SCHEDULED_FLEX_OFFER = "scheduled-flex-offer"
+    MACRO_FLEX_OFFER = "macro-flex-offer"
+    SCHEDULED_MACRO_FLEX_OFFER = "scheduled-macro-flex-offer"
+    MEASUREMENT = "measurement"
+    FORECAST = "forecast"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on the bus.
+
+    ``payload`` carries the domain object (a flex-offer, a scheduled
+    flex-offer, a time series, …); ``issued_at`` is the slice at which the
+    sender produced it.
+    """
+
+    sender: str
+    recipient: str
+    type: MessageType
+    payload: Any
+    issued_at: int
+    message_id: int = field(default_factory=lambda: next(_sequence))

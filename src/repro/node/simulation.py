@@ -1,0 +1,218 @@
+"""End-to-end EDMS simulation: the paper's Figure 1 story, executable.
+
+Builds the 3-level hierarchy (prosumers → BRPs → optional TSO), runs one
+planning day through the full message protocol — offer submission,
+acceptance, aggregation, scheduling (locally at the BRPs or globally at the
+TSO), disaggregation, execution with open-contract fallback — and reports
+how much the system improved RES utilisation and imbalance versus the
+unmanaged baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..aggregation import AggregationParameters
+from ..core.timebase import DEFAULT_AXIS, TimeAxis
+from ..core.timeseries import TimeSeries
+from ..datagen.wind import WindFarmModel
+from .bus import MessageBus
+from .devices import default_household
+from .node import BrpDayResult, BrpNode, ProsumerNode, TsoNode
+
+__all__ = ["ScenarioConfig", "BalancingReport", "HierarchySimulation"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Size and behaviour of one simulated planning day."""
+
+    n_brps: int = 2
+    prosumers_per_brp: int = 20
+    axis: TimeAxis = DEFAULT_AXIS
+    day_start: int = 0
+    horizon_slices: int = 144  # 36 h on the 15-min axis: the day + EV tail
+    seed: int = 0
+    use_tso: bool = False
+    wind_share: float = 0.5
+    """Mean wind supply as a fraction of mean prosumer demand."""
+    aggregation_parameters: AggregationParameters = AggregationParameters(
+        start_after_tolerance=8, time_flexibility_tolerance=8, name="sim"
+    )
+    scheduler_passes: int = 3
+    """Greedy scheduler restarts per planning run (deterministic budget)."""
+    unreachable_prosumers: frozenset[str] = frozenset()
+    """Prosumer names cut off from the network (failure injection): their
+    offers time out and they fall back to the open contract."""
+
+
+@dataclass
+class BalancingReport:
+    """Before/after metrics of one simulated day (paper Fig. 1)."""
+
+    peak_demand_before: float
+    peak_demand_after: float
+    imbalance_before: float
+    imbalance_after: float
+    res_utilization_before: float
+    res_utilization_after: float
+    offers_submitted: int
+    offers_accepted: int
+    offers_scheduled: int
+    aggregate_count: int
+    messages_delivered: int
+    messages_dropped: int
+    brp_results: dict[str, BrpDayResult] = field(default_factory=dict)
+
+    @property
+    def peak_reduction(self) -> float:
+        """Relative reduction of the demand peak."""
+        if self.peak_demand_before == 0:
+            return 0.0
+        return 1.0 - self.peak_demand_after / self.peak_demand_before
+
+    @property
+    def imbalance_reduction(self) -> float:
+        """Relative reduction of total |demand − RES supply|."""
+        if self.imbalance_before == 0:
+            return 0.0
+        return 1.0 - self.imbalance_after / self.imbalance_before
+
+
+class HierarchySimulation:
+    """Builds and runs the 3-level node hierarchy for one planning day."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.bus = MessageBus()
+        self.brps: list[BrpNode] = []
+        self.prosumers: list[ProsumerNode] = []
+        self.tso: TsoNode | None = None
+        self._wind_total = np.zeros(config.horizon_slices)
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        config = self.config
+        for b in range(config.n_brps):
+            brp_name = f"brp-{b}"
+            wind = self._wind_series()
+            brp = BrpNode(
+                brp_name,
+                config.axis,
+                self.bus,
+                aggregation_parameters=config.aggregation_parameters,
+                res_supply=wind,
+                scheduler_passes=config.scheduler_passes,
+            )
+            self.brps.append(brp)
+            self._wind_total += wind.values
+            for p in range(config.prosumers_per_brp):
+                name = f"prosumer-{b}-{p}"
+                node = ProsumerNode(
+                    name,
+                    config.axis,
+                    self.bus,
+                    default_household(config.axis, self.rng),
+                    brp_name,
+                )
+                self.prosumers.append(node)
+        if config.use_tso:
+            self.tso = TsoNode(
+                "tso",
+                config.axis,
+                self.bus,
+                aggregation_parameters=config.aggregation_parameters,
+                scheduler_passes=config.scheduler_passes,
+            )
+        for name in config.unreachable_prosumers:
+            self.bus.set_unreachable(name)
+
+    def _wind_series(self) -> TimeSeries:
+        """Per-BRP wind supply scaled to the configured share of demand."""
+        config = self.config
+        farm = WindFarmModel(axis=config.axis, n_turbines=1)
+        raw = farm.generate(config.day_start, config.horizon_slices, self.rng)
+        # Scale so that mean wind ≈ wind_share × mean expected demand.
+        expected_demand = config.prosumers_per_brp * 8.0 / config.axis.slices_per_day
+        mean_raw = raw.values.mean() or 1.0
+        scale = config.wind_share * expected_demand / mean_raw
+        return TimeSeries(config.day_start, raw.values * scale)
+
+    # ------------------------------------------------------------------
+    def run(self) -> BalancingReport:
+        """Run the full planning day; returns the balancing report."""
+        config = self.config
+        start, horizon = config.day_start, config.horizon_slices
+
+        # Phase 1 — prosumers plan the day and submit offers.
+        for prosumer in self.prosumers:
+            prosumer.plan_day(start, horizon, self.rng)
+        self.bus.dispatch_all()
+
+        # Unmanaged baseline: everything falls back to the open contract.
+        demand_before = self._total_load(start, horizon)
+
+        # Phase 2 — BRPs aggregate; scheduling happens locally or at the TSO.
+        aggregate_count = 0
+        if self.tso is None:
+            for brp in self.brps:
+                aggregates = brp.aggregate()
+                aggregate_count += len(aggregates)
+                brp.schedule_and_disaggregate(aggregates, start, horizon, self.rng)
+            self.bus.dispatch_all()
+        else:
+            system_net = np.zeros(horizon)
+            for brp in self.brps:
+                aggregates = brp.aggregate()
+                aggregate_count += len(aggregates)
+                brp.forward_macros(aggregates, self.tso.name, start)
+                system_net += brp.net_forecast(start, horizon, self.rng).values
+            self.bus.dispatch_all()
+            self.tso.schedule(TimeSeries(start, system_net), self.rng)
+            self.bus.dispatch_all()
+            for brp in self.brps:
+                brp.disaggregate_tso_schedule(start)
+            self.bus.dispatch_all()
+
+        # Phase 3 — execution and metrics.
+        demand_after = self._total_load(start, horizon)
+        wind = self._wind_total
+
+        submitted = sum(len(p.pending) for p in self.prosumers)
+        scheduled = sum(len(p.assignments) for p in self.prosumers)
+        accepted = sum(brp.result.accepted for brp in self.brps)
+
+        return BalancingReport(
+            peak_demand_before=float(np.max(demand_before)),
+            peak_demand_after=float(np.max(demand_after)),
+            imbalance_before=float(np.abs(demand_before - wind).sum()),
+            imbalance_after=float(np.abs(demand_after - wind).sum()),
+            res_utilization_before=self._res_utilization(demand_before, wind),
+            res_utilization_after=self._res_utilization(demand_after, wind),
+            offers_submitted=submitted,
+            offers_accepted=accepted,
+            offers_scheduled=scheduled,
+            aggregate_count=aggregate_count,
+            messages_delivered=self.bus.total_delivered(),
+            messages_dropped=self.bus.dropped,
+            brp_results={brp.name: brp.result for brp in self.brps},
+        )
+
+    # ------------------------------------------------------------------
+    def _total_load(self, start: int, horizon: int) -> np.ndarray:
+        total = np.zeros(horizon)
+        for prosumer in self.prosumers:
+            total += prosumer.realized_load(start, horizon).values
+        return total
+
+    @staticmethod
+    def _res_utilization(demand: np.ndarray, wind: np.ndarray) -> float:
+        """Fraction of RES production covered by simultaneous demand."""
+        produced = wind.sum()
+        if produced <= 0:
+            return 0.0
+        return float(np.minimum(np.maximum(demand, 0.0), wind).sum() / produced)

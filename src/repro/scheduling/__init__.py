@@ -1,0 +1,31 @@
+"""Scheduling of aggregated flex-offers against forecasts and the market
+(paper §6).
+
+Public API::
+
+    from repro.scheduling import (
+        SchedulingProblem, CandidateSolution, Market,
+        RandomizedGreedyScheduler, EvolutionaryScheduler,
+        ExhaustiveScheduler, count_start_combinations,
+    )
+"""
+
+from .evolutionary import EvolutionaryScheduler
+from .exhaustive import ExhaustiveScheduler, count_start_combinations
+from .greedy import RandomizedGreedyScheduler
+from .market import Market
+from .problem import CandidateSolution, ScheduleEvaluation, SchedulingProblem
+from .result import CostTracker, SchedulingResult
+
+__all__ = [
+    "EvolutionaryScheduler",
+    "ExhaustiveScheduler",
+    "count_start_combinations",
+    "RandomizedGreedyScheduler",
+    "Market",
+    "CandidateSolution",
+    "ScheduleEvaluation",
+    "SchedulingProblem",
+    "CostTracker",
+    "SchedulingResult",
+]

@@ -1,0 +1,166 @@
+"""Evolutionary scheduling algorithm (paper §6).
+
+"We also developed an evolutionary algorithm that starts with a population of
+randomly created solutions and uses evolutionary principles of selection,
+crossover and mutation to find progressively better solutions."
+
+Genome: per flex-offer, an integer start time within its admissible window
+and one energy value per profile slice within its bounds.  Operators:
+
+* tournament selection;
+* uniform per-offer crossover (a child inherits each offer's complete
+  placement — start plus energies — from one parent);
+* mutation: per offer, re-draw the start (small shift or full re-draw) and
+  Gaussian-perturb energies, clipped to the bounds;
+* elitism: the best individual always survives.
+
+``seed_with_greedy_pass=True`` hybridises the EA with the randomized greedy
+search (one greedy pass joins the initial population) — the paper's
+"hybridizing the existing [algorithms]" research direction, evaluated in
+``benchmarks/bench_ablation_scheduling.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .problem import CandidateSolution, SchedulingProblem
+from .result import CostTracker, SchedulingResult
+
+__all__ = ["EvolutionaryScheduler"]
+
+
+class EvolutionaryScheduler:
+    """A steady generational EA over flex-offer placements."""
+
+    name = "evolutionary-algorithm"
+
+    def __init__(
+        self,
+        *,
+        population_size: int = 24,
+        tournament_size: int = 3,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.15,
+        energy_mutation_scale: float = 0.25,
+        start_shift: int = 2,
+        seed_with_greedy_pass: bool = False,
+    ) -> None:
+        if population_size < 4:
+            raise ValueError("population_size must be at least 4")
+        if not 0 < mutation_rate <= 1:
+            raise ValueError("mutation_rate must be in (0, 1]")
+        self.population_size = population_size
+        self.tournament_size = tournament_size
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+        self.energy_mutation_scale = energy_mutation_scale
+        self.start_shift = start_shift
+        self.seed_with_greedy_pass = seed_with_greedy_pass
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        problem: SchedulingProblem,
+        *,
+        budget_seconds: float | None = None,
+        max_evaluations: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> SchedulingResult:
+        """Evolve placements until the time/evaluation budget expires."""
+        rng = rng or np.random.default_rng()
+        tracker = CostTracker(budget_seconds, max_evaluations)
+
+        population = [
+            problem.random_solution(rng) for _ in range(self.population_size)
+        ]
+        if self.seed_with_greedy_pass:
+            from .greedy import RandomizedGreedyScheduler  # avoid module cycle
+
+            population[0] = RandomizedGreedyScheduler()._one_pass(problem, rng)
+        costs = np.array([problem.cost(s) for s in population])
+        for solution, cost in zip(population, costs):
+            tracker.record(cost, solution)
+
+        while not tracker.exhausted():
+            elite = int(np.argmin(costs))
+            next_population = [population[elite]]
+            next_costs = [costs[elite]]
+            while len(next_population) < self.population_size:
+                parent_a = self._tournament(population, costs, rng)
+                parent_b = self._tournament(population, costs, rng)
+                child = self._crossover(parent_a, parent_b, rng)
+                self._mutate(problem, child, rng)
+                cost = problem.cost(child)
+                tracker.record(cost, child)
+                next_population.append(child)
+                next_costs.append(cost)
+                if tracker.exhausted():
+                    break
+            population = next_population
+            costs = np.array(next_costs)
+        return tracker.result()
+
+    # ------------------------------------------------------------------
+    def _tournament(
+        self,
+        population: list[CandidateSolution],
+        costs: np.ndarray,
+        rng: np.random.Generator,
+    ) -> CandidateSolution:
+        contenders = rng.integers(0, len(population), self.tournament_size)
+        winner = contenders[np.argmin(costs[contenders])]
+        return population[int(winner)]
+
+    def _crossover(
+        self,
+        a: CandidateSolution,
+        b: CandidateSolution,
+        rng: np.random.Generator,
+    ) -> CandidateSolution:
+        if rng.random() > self.crossover_rate:
+            return a.copy()
+        take_from_a = rng.random(len(a.starts)) < 0.5
+        starts = np.where(take_from_a, a.starts, b.starts)
+        energies = [
+            (a.energies[j] if take_from_a[j] else b.energies[j]).copy()
+            for j in range(len(a.starts))
+        ]
+        return CandidateSolution(starts, energies)
+
+    def _mutate(
+        self,
+        problem: SchedulingProblem,
+        solution: CandidateSolution,
+        rng: np.random.Generator,
+    ) -> None:
+        for j, offer in enumerate(problem.offers):
+            if rng.random() >= self.mutation_rate:
+                continue
+            if offer.time_flexibility > 0:
+                if rng.random() < 0.5:  # local shift
+                    shift = int(rng.integers(-self.start_shift, self.start_shift + 1))
+                    solution.starts[j] = int(
+                        np.clip(
+                            solution.starts[j] + shift,
+                            offer.earliest_start,
+                            offer.latest_start,
+                        )
+                    )
+                else:  # global re-draw
+                    solution.starts[j] = int(
+                        rng.integers(offer.earliest_start, offer.latest_start + 1)
+                    )
+            lo = np.asarray(offer.profile.min_energies())
+            hi = np.asarray(offer.profile.max_energies())
+            move = rng.random()
+            if move < 0.25:  # snap to a bound: optima are mostly bang-bang
+                solution.energies[j] = lo.copy()
+            elif move < 0.5:
+                solution.energies[j] = hi.copy()
+            else:  # Gaussian exploration of the energy range
+                span = hi - lo
+                jitter = rng.normal(0.0, self.energy_mutation_scale, len(span)) * span
+                solution.energies[j] = np.clip(
+                    solution.energies[j] + jitter, lo, hi
+                )

@@ -1,0 +1,79 @@
+"""Scheduler result type with anytime cost traces (Figure 6 curves)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .problem import CandidateSolution
+
+__all__ = ["SchedulingResult", "CostTracker"]
+
+
+@dataclass
+class SchedulingResult:
+    """Outcome of a scheduler run."""
+
+    solution: CandidateSolution
+    cost: float
+    evaluations: int
+    elapsed_seconds: float
+    trace: list[tuple[float, float]] = field(default_factory=list)
+    """``(elapsed_seconds, best_cost_so_far)`` — the cost-over-time curve the
+    paper plots in Figure 6."""
+
+    def cost_at(self, seconds: float) -> float:
+        """Best cost achieved within the first ``seconds``."""
+        best = float("inf")
+        for t, c in self.trace:
+            if t > seconds:
+                break
+            best = c
+        return best
+
+
+class CostTracker:
+    """Tracks best-so-far cost, wall-clock budget and the anytime trace."""
+
+    def __init__(self, budget_seconds: float | None, max_evaluations: int | None):
+        if budget_seconds is None and max_evaluations is None:
+            raise ValueError("need a time or evaluation budget")
+        self.budget_seconds = budget_seconds
+        self.max_evaluations = max_evaluations
+        self._t0 = time.perf_counter()
+        self.evaluations = 0
+        self.best_cost = float("inf")
+        self.best_solution: CandidateSolution | None = None
+        self.trace: list[tuple[float, float]] = []
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def exhausted(self) -> bool:
+        if (
+            self.max_evaluations is not None
+            and self.evaluations >= self.max_evaluations
+        ):
+            return True
+        if self.budget_seconds is not None and self.elapsed() >= self.budget_seconds:
+            return True
+        return False
+
+    def record(self, cost: float, solution: CandidateSolution) -> None:
+        """Record one full-candidate evaluation."""
+        self.evaluations += 1
+        if cost < self.best_cost:
+            self.best_cost = cost
+            self.best_solution = solution.copy()
+            self.trace.append((self.elapsed(), cost))
+
+    def result(self) -> SchedulingResult:
+        if self.best_solution is None:
+            raise ValueError("no candidate was evaluated")
+        return SchedulingResult(
+            solution=self.best_solution,
+            cost=self.best_cost,
+            evaluations=self.evaluations,
+            elapsed_seconds=self.elapsed(),
+            trace=self.trace,
+        )

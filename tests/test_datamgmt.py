@@ -1,0 +1,263 @@
+"""Tests for the typed tables, the star/snowflake schema and the LEDMS store."""
+
+import pytest
+
+from repro.core import TimeSeries, flex_offer
+from repro.core.errors import DataManagementError
+from repro.core.timebase import TimeAxis
+from repro.datamgmt import (
+    Column,
+    DimensionTable,
+    FactTable,
+    LedmsStore,
+    StarSchema,
+    Table,
+    build_mirabel_schema,
+)
+
+
+class TestColumn:
+    def test_type_validation(self):
+        column = Column("x", "int")
+        assert column.validate(5) == 5
+        with pytest.raises(DataManagementError):
+            column.validate("five")
+
+    def test_bool_is_not_int_or_float(self):
+        with pytest.raises(DataManagementError):
+            Column("x", "int").validate(True)
+        with pytest.raises(DataManagementError):
+            Column("x", "float").validate(False)
+
+    def test_int_promotes_to_float(self):
+        assert Column("x", "float").validate(3) == 3.0
+
+    def test_nullable(self):
+        assert Column("x", "int", nullable=True).validate(None) is None
+        with pytest.raises(DataManagementError):
+            Column("x", "int").validate(None)
+
+    def test_unknown_dtype(self):
+        with pytest.raises(DataManagementError):
+            Column("x", "decimal")
+
+
+class TestTable:
+    def _table(self):
+        return Table(
+            "t",
+            [Column("id", "int"), Column("name", "str"), Column("v", "float")],
+            primary_key="id",
+        )
+
+    def test_insert_and_get(self):
+        table = self._table()
+        table.insert({"id": 1, "name": "a", "v": 2.0})
+        assert table.get(1)["name"] == "a"
+        assert table.get(2) is None
+        assert len(table) == 1
+
+    def test_duplicate_primary_key(self):
+        table = self._table()
+        table.insert({"id": 1, "name": "a", "v": 1.0})
+        with pytest.raises(DataManagementError):
+            table.insert({"id": 1, "name": "b", "v": 2.0})
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(DataManagementError):
+            self._table().insert({"id": 1, "name": "a", "v": 1.0, "zzz": 9})
+
+    def test_select_with_equality_and_predicate(self):
+        table = self._table()
+        table.insert_many(
+            {"id": i, "name": "a" if i % 2 else "b", "v": float(i)}
+            for i in range(6)
+        )
+        rows = table.select(lambda r: r["v"] >= 3, name="a")
+        assert [r["id"] for r in rows] == [3, 5]
+
+    def test_select_unknown_filter_column(self):
+        with pytest.raises(DataManagementError):
+            self._table().select(bogus=1)
+
+    def test_aggregate(self):
+        table = self._table()
+        table.insert_many(
+            {"id": i, "name": "a" if i % 2 else "b", "v": float(i)}
+            for i in range(6)
+        )
+        result = table.aggregate(
+            ["name"], {"total": ("v", "sum"), "n": ("v", "count")}
+        )
+        assert result[("a",)] == {"total": 1 + 3 + 5, "n": 3}
+        assert result[("b",)] == {"total": 0 + 2 + 4, "n": 3}
+
+    def test_aggregate_unknown_aggregate(self):
+        with pytest.raises(DataManagementError):
+            self._table().aggregate(["name"], {"x": ("v", "median")})
+
+    def test_project(self):
+        table = self._table()
+        table.insert({"id": 1, "name": "a", "v": 2.0})
+        assert table.project(table.select(), ["name", "v"]) == [("a", 2.0)]
+
+
+class TestStarSchema:
+    def _schema(self):
+        schema = StarSchema("s")
+        schema.add_dimension(
+            DimensionTable(
+                "region",
+                [Column("region_id", "int"), Column("name", "str")],
+                primary_key="region_id",
+            )
+        )
+        schema.add_dimension(
+            DimensionTable(
+                "site",
+                [Column("site_id", "int"), Column("name", "str"),
+                 Column("region_id", "int")],
+                primary_key="site_id",
+                parent="region",
+            )
+        )
+        schema.add_fact(
+            FactTable("reading", ["site"], [Column("value", "float")])
+        )
+        return schema
+
+    def test_snowflake_requires_parent_column(self):
+        with pytest.raises(DataManagementError):
+            DimensionTable(
+                "bad",
+                [Column("bad_id", "int")],
+                primary_key="bad_id",
+                parent="region",
+            )
+
+    def test_referential_integrity_on_dimension(self):
+        schema = self._schema()
+        with pytest.raises(DataManagementError):
+            schema.insert_dimension_row(
+                "site", {"site_id": 1, "name": "x", "region_id": 99}
+            )
+
+    def test_referential_integrity_on_fact(self):
+        schema = self._schema()
+        with pytest.raises(DataManagementError):
+            schema.insert_fact("reading", {"site_id": 1, "value": 2.0})
+
+    def test_join_expands_snowflake_transitively(self):
+        schema = self._schema()
+        schema.insert_dimension_row("region", {"region_id": 1, "name": "dk"})
+        schema.insert_dimension_row(
+            "site", {"site_id": 7, "name": "aalborg", "region_id": 1}
+        )
+        schema.insert_fact("reading", {"site_id": 7, "value": 3.5})
+        rows = schema.join_facts("reading")
+        assert rows[0]["site.name"] == "aalborg"
+        assert rows[0]["region.name"] == "dk"
+        assert rows[0]["value"] == 3.5
+
+    def test_fact_requires_known_dimension(self):
+        schema = StarSchema("s")
+        with pytest.raises(DataManagementError):
+            schema.add_fact(FactTable("f", ["ghost"], [Column("v", "float")]))
+
+    def test_duplicate_table_names(self):
+        schema = self._schema()
+        with pytest.raises(DataManagementError):
+            schema.add_dimension(
+                DimensionTable(
+                    "region",
+                    [Column("region_id", "int")],
+                    primary_key="region_id",
+                )
+            )
+
+
+class TestLedmsStore:
+    def _store(self):
+        return LedmsStore(TimeAxis(15))
+
+    def test_mirabel_schema_tables(self):
+        schema = build_mirabel_schema()
+        assert set(schema.dimensions) == {
+            "market_area", "actor", "time", "energy_type", "offer_state",
+        }
+        assert set(schema.facts) == {
+            "measurement", "forecast", "flexoffer_event", "price",
+        }
+
+    def test_measurement_round_trip(self):
+        store = self._store()
+        store.register_actor("brp-1", "brp")
+        store.register_energy_type("wind", renewable=True)
+        series = TimeSeries(10, [1.0, 2.0, 3.0])
+        assert store.record_measurements("brp-1", "wind", series) == 3
+        read = store.measurements("brp-1", "wind", 10, 13)
+        assert read == series
+
+    def test_measurements_dense_with_gaps(self):
+        store = self._store()
+        store.register_actor("a", "prosumer")
+        store.register_energy_type("load", renewable=False)
+        store.record_measurements("a", "load", TimeSeries(5, [1.0]))
+        read = store.measurements("a", "load", 4, 8)
+        assert list(read.values) == [0.0, 1.0, 0.0, 0.0]
+
+    def test_unknown_actor_rejected(self):
+        store = self._store()
+        store.register_energy_type("load", renewable=False)
+        with pytest.raises(DataManagementError):
+            store.record_measurements("ghost", "load", TimeSeries(0, [1.0]))
+
+    def test_actor_registration_idempotent(self):
+        store = self._store()
+        a = store.register_actor("x", "prosumer")
+        b = store.register_actor("x", "prosumer")
+        assert a == b
+
+    def test_offer_lifecycle(self):
+        store = self._store()
+        store.register_actor("p", "prosumer")
+        offer = flex_offer([(1, 2)], earliest_start=5, latest_start=9)
+        store.record_offer_event("p", offer, "submitted", now=0)
+        store.record_offer_event("p", offer, "scheduled", now=2)
+        assert store.offer_state(offer.offer_id) == "scheduled"
+        assert store.offers_in_state("scheduled") == [offer.offer_id]
+        assert store.state_counts()["scheduled"] == 1
+
+    def test_unknown_offer_state_rejected(self):
+        store = self._store()
+        store.register_actor("p", "prosumer")
+        offer = flex_offer([(1, 2)], earliest_start=5, latest_start=9)
+        with pytest.raises(DataManagementError):
+            store.record_offer_event("p", offer, "vanished", now=0)
+
+    def test_forecast_recording(self):
+        store = self._store()
+        store.register_actor("brp", "brp")
+        store.register_energy_type("net", renewable=False)
+        n = store.record_forecast("brp", "net", 96, TimeSeries(0, [5.0, 6.0]))
+        assert n == 2
+        rows = store.schema.facts["forecast"].select(horizon=96)
+        assert len(rows) == 2
+
+
+class TestPriceFacts:
+    def test_record_and_read_prices(self):
+        from repro.scheduling import Market
+
+        store = LedmsStore(TimeAxis(15))
+        store.register_actor("brp", "brp")
+        market = Market.flat(4, buy_price=0.2, sell_price=0.05)
+        assert store.record_prices("brp", market) == 4
+        prices = store.prices("brp", 1, 3)
+        assert prices == [(1, 0.2, 0.05), (2, 0.2, 0.05)]
+
+    def test_rejects_non_market_object(self):
+        store = LedmsStore(TimeAxis(15))
+        store.register_actor("brp", "brp")
+        with pytest.raises(DataManagementError):
+            store.record_prices("brp", object())

@@ -1,0 +1,155 @@
+"""Tests for the parameter estimators (Nelder-Mead, RRNM, SA, random search)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ForecastingError
+from repro.forecasting import (
+    EstimationBudget,
+    NelderMead,
+    ParameterSpace,
+    RandomRestartNelderMead,
+    RandomSearch,
+    SimulatedAnnealing,
+    paper_estimators,
+)
+
+SPACE = ParameterSpace(("x", "y"), (-5.0, -5.0), (5.0, 5.0))
+
+
+def sphere(p):
+    return float(np.sum((p - 1.0) ** 2))
+
+
+def rastrigin(p):
+    return float(10 * len(p) + np.sum(p**2 - 10 * np.cos(2 * np.pi * p)))
+
+
+class TestBudget:
+    def test_needs_some_limit(self):
+        with pytest.raises(ForecastingError):
+            EstimationBudget()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ForecastingError):
+            EstimationBudget(seconds=0)
+        with pytest.raises(ForecastingError):
+            EstimationBudget(max_evaluations=0)
+
+    def test_evaluation_budget_is_exact(self):
+        result = RandomSearch().estimate(
+            sphere, SPACE, EstimationBudget.of_evaluations(25),
+            rng=np.random.default_rng(0),
+        )
+        assert result.evaluations == 25
+
+    def test_time_budget_respected(self):
+        budget = EstimationBudget.of_seconds(0.2)
+        result = RandomSearch().estimate(
+            sphere, SPACE, budget, rng=np.random.default_rng(0)
+        )
+        assert result.elapsed_seconds < 0.4
+
+
+class TestTrace:
+    def test_trace_is_monotone_nonincreasing(self):
+        result = SimulatedAnnealing().estimate(
+            sphere, SPACE, EstimationBudget.of_evaluations(100),
+            rng=np.random.default_rng(1),
+        )
+        errors = [e for _, e in result.trace]
+        assert errors == sorted(errors, reverse=True) or all(
+            errors[i] >= errors[i + 1] for i in range(len(errors) - 1)
+        )
+
+    def test_trace_times_increase(self):
+        result = RandomSearch().estimate(
+            sphere, SPACE, EstimationBudget.of_evaluations(50),
+            rng=np.random.default_rng(1),
+        )
+        times = [t for t, _ in result.trace]
+        assert all(times[i] <= times[i + 1] for i in range(len(times) - 1))
+
+    def test_error_at(self):
+        result = RandomSearch().estimate(
+            sphere, SPACE, EstimationBudget.of_evaluations(50),
+            rng=np.random.default_rng(1),
+        )
+        assert result.error_at(float("inf")) == pytest.approx(result.error)
+        assert result.error_at(-1.0) == float("inf")
+
+
+@pytest.mark.parametrize("estimator", paper_estimators(), ids=lambda e: e.name)
+class TestAllEstimators:
+    def test_finds_sphere_minimum(self, estimator):
+        result = estimator.estimate(
+            sphere, SPACE, EstimationBudget.of_evaluations(400),
+            rng=np.random.default_rng(2),
+        )
+        assert result.error < 0.3
+        assert np.all(result.params >= np.asarray(SPACE.lower))
+        assert np.all(result.params <= np.asarray(SPACE.upper))
+
+    def test_warm_start_is_evaluated_first(self, estimator):
+        initial = np.array([1.0, 1.0])  # the optimum itself
+        result = estimator.estimate(
+            sphere, SPACE, EstimationBudget.of_evaluations(5),
+            rng=np.random.default_rng(3), initial=initial,
+        )
+        assert result.error == pytest.approx(0.0)
+
+    def test_deterministic_under_seed(self, estimator):
+        kwargs = dict(budget=EstimationBudget.of_evaluations(60))
+        a = estimator.estimate(sphere, SPACE, rng=np.random.default_rng(7), **kwargs)
+        b = estimator.estimate(sphere, SPACE, rng=np.random.default_rng(7), **kwargs)
+        assert a.error == b.error
+        np.testing.assert_array_equal(a.params, b.params)
+
+
+class TestNelderMead:
+    def test_descends_quickly_on_convex(self):
+        result = NelderMead().estimate(
+            sphere, SPACE, EstimationBudget.of_evaluations(120),
+            rng=np.random.default_rng(0),
+        )
+        assert result.error < 1e-3
+
+    def test_restart_wrapper_beats_single_descent_on_multimodal(self):
+        space = ParameterSpace(("x", "y"), (-5.12, -5.12), (5.12, 5.12))
+        budget = EstimationBudget.of_evaluations(600)
+        single = NelderMead(tolerance=1e-12).descend  # raw descent, no restart
+
+        rrnm = RandomRestartNelderMead().estimate(
+            rastrigin, space, budget, rng=np.random.default_rng(4)
+        )
+        # RRNM should get close to the global optimum at 0
+        assert rrnm.error < 2.0
+
+    def test_budget_exhaustion_mid_descent_is_safe(self):
+        result = NelderMead().estimate(
+            sphere, SPACE, EstimationBudget.of_evaluations(3),
+            rng=np.random.default_rng(0),
+        )
+        assert result.evaluations == 3
+
+
+class TestSimulatedAnnealing:
+    def test_invalid_cooling(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(cooling=1.5)
+
+    def test_accepts_uphill_sometimes(self):
+        """At high temperature the chain must not be pure greedy descent."""
+        calls = []
+
+        def tracked(p):
+            value = sphere(p)
+            calls.append(value)
+            return value
+
+        SimulatedAnnealing(initial_temperature=10.0).estimate(
+            tracked, SPACE, EstimationBudget.of_evaluations(200),
+            rng=np.random.default_rng(5),
+        )
+        increases = sum(1 for a, b in zip(calls, calls[1:]) if b > a)
+        assert increases > 10

@@ -1,0 +1,99 @@
+"""Unit + property tests for forecast accuracy metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ForecastingError
+from repro.forecasting import mae, mape, mase, rmse, smape
+
+
+class TestSmape:
+    def test_perfect_forecast(self):
+        assert smape([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_known_value(self):
+        # |1-3|/(1+3) = 0.5 on a single point
+        assert smape([1.0], [3.0]) == pytest.approx(0.5)
+
+    def test_bounded_by_one(self):
+        assert smape([1, 1], [-1, -1]) == pytest.approx(1.0)
+
+    def test_both_zero_contributes_zero(self):
+        assert smape([0, 1], [0, 1]) == 0.0
+
+    def test_symmetry(self):
+        a, b = [1.0, 4.0], [2.0, 3.0]
+        assert smape(a, b) == pytest.approx(smape(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ForecastingError):
+            smape([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ForecastingError):
+            smape([], [])
+
+
+class TestOtherMetrics:
+    def test_mape(self):
+        assert mape([2.0, 4.0], [1.0, 5.0]) == pytest.approx((0.5 + 0.25) / 2)
+
+    def test_mape_skips_zero_actuals(self):
+        assert mape([0.0, 2.0], [5.0, 1.0]) == pytest.approx(0.5)
+
+    def test_mape_all_zero_rejected(self):
+        with pytest.raises(ForecastingError):
+            mape([0.0], [1.0])
+
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_mae(self):
+        assert mae([0.0, 0.0], [3.0, -4.0]) == pytest.approx(3.5)
+
+    def test_mase_beats_naive(self):
+        actual = [1.0, 2.0, 1.5, 2.5]  # seasonal naive is imperfect here
+        assert mase(actual, actual, season_length=2) == 0.0
+
+    def test_mase_equal_to_naive_is_one(self):
+        actual = np.array([1.0, 2.0, 2.0, 3.0])
+        shifted = np.array([0.0, 0.0, 1.0, 2.0])  # seasonal naive with m=2
+        value = mase(actual, shifted, season_length=2)
+        assert value == pytest.approx(np.abs(actual - shifted).mean() / 1.0)
+
+    def test_mase_needs_enough_data(self):
+        with pytest.raises(ForecastingError):
+            mase([1.0], [1.0], season_length=2)
+
+    def test_mase_zero_naive_error_rejected(self):
+        with pytest.raises(ForecastingError):
+            mase([1.0, 1.0, 1.0], [1.0, 1.0, 1.0], season_length=1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(
+        st.tuples(
+            st.floats(-100, 100, allow_nan=False),
+            st.floats(-100, 100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_smape_always_in_unit_interval(values):
+    actual = [a for a, _ in values]
+    predicted = [p for _, p in values]
+    assert 0.0 <= smape(actual, predicted) <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    actual=st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=20)
+)
+def test_zero_error_for_identical_series(actual):
+    assert smape(actual, actual) == 0.0
+    assert mae(actual, actual) == 0.0
+    assert rmse(actual, actual) == 0.0

@@ -1,0 +1,240 @@
+"""Tests for the HWT, EGRV and naive forecast models."""
+
+import numpy as np
+import pytest
+
+from repro.core import TimeSeries
+from repro.core.errors import ForecastingError
+from repro.core.timebase import TimeAxis
+from repro.datagen import DemandModel, uk_style_demand
+from repro.datagen.demand import HALF_HOURLY
+from repro.forecasting import (
+    EGRVModel,
+    HoltWintersTaylor,
+    MovingAverageModel,
+    NaiveModel,
+    SeasonalNaiveModel,
+    smape,
+)
+
+AXIS = TimeAxis(30)
+PER_DAY = AXIS.slices_per_day
+PER_WEEK = AXIS.slices_per_week
+
+
+@pytest.fixture(scope="module")
+def demand():
+    return uk_style_demand(42)
+
+
+@pytest.fixture(scope="module")
+def split(demand):
+    return demand.split(demand.start + 35 * PER_DAY)
+
+
+class TestNaiveModels:
+    def test_naive_repeats_last_value(self):
+        model = NaiveModel().fit(TimeSeries(0, [1.0, 2.0, 5.0]))
+        forecast = model.forecast(3)
+        assert list(forecast.values) == [5.0, 5.0, 5.0]
+        assert forecast.start == 3
+
+    def test_naive_update_shifts(self):
+        model = NaiveModel().fit(TimeSeries(0, [1.0]))
+        error = model.update(4.0)
+        assert error == 3.0
+        assert model.forecast(1).values[0] == 4.0
+
+    def test_naive_requires_fit(self):
+        with pytest.raises(ForecastingError):
+            NaiveModel().forecast(1)
+
+    def test_seasonal_naive_repeats_season(self):
+        model = SeasonalNaiveModel(2).fit(TimeSeries(0, [1.0, 2.0, 3.0, 4.0]))
+        assert list(model.forecast(4).values) == [3.0, 4.0, 3.0, 4.0]
+
+    def test_seasonal_naive_needs_full_season(self):
+        with pytest.raises(ForecastingError):
+            SeasonalNaiveModel(10).fit(TimeSeries(0, [1.0, 2.0]))
+
+    def test_seasonal_naive_update_rolls_buffer(self):
+        model = SeasonalNaiveModel(2).fit(TimeSeries(0, [1.0, 2.0]))
+        model.update(5.0)
+        assert list(model.forecast(2).values) == [2.0, 5.0]
+
+    def test_moving_average(self):
+        model = MovingAverageModel(2).fit(TimeSeries(0, [1.0, 2.0, 4.0]))
+        assert model.forecast(2).values[0] == pytest.approx(3.0)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ForecastingError):
+            SeasonalNaiveModel(0)
+        with pytest.raises(ForecastingError):
+            MovingAverageModel(-1)
+
+
+class TestHoltWintersTaylor:
+    def test_rejects_bad_periods(self):
+        with pytest.raises(ForecastingError):
+            HoltWintersTaylor(())
+        with pytest.raises(ForecastingError):
+            HoltWintersTaylor((336, 48))  # not increasing
+        with pytest.raises(ForecastingError):
+            HoltWintersTaylor((1,))
+
+    def test_parameter_space_dimension(self):
+        model = HoltWintersTaylor((48, 336))
+        assert model.parameter_space.dimension == 4  # alpha, 2 gammas, phi
+
+    def test_needs_two_longest_cycles(self, demand):
+        short = demand.first(PER_WEEK)  # one week only
+        with pytest.raises(ForecastingError):
+            HoltWintersTaylor((48, 336)).fit(short)
+
+    def test_wrong_parameter_count(self, split):
+        train, _ = split
+        with pytest.raises(ForecastingError):
+            HoltWintersTaylor((48, 336)).fit(train, np.array([0.1, 0.1]))
+
+    def test_forecast_start_follows_history(self, split):
+        train, _ = split
+        model = HoltWintersTaylor((48, 336)).fit(train)
+        forecast = model.forecast(10)
+        assert forecast.start == train.end
+        assert len(forecast) == 10
+
+    def test_beats_level_only_baseline(self, split):
+        """On multi-seasonal demand, HWT must massively beat a flat forecast."""
+        train, test = split
+        model = HoltWintersTaylor((48, 336)).fit(train)
+        horizon = PER_DAY
+        hwt_error = smape(test.values[:horizon], model.forecast(horizon).values)
+        flat_error = smape(
+            test.values[:horizon], np.full(horizon, train.values.mean())
+        )
+        assert hwt_error < 0.5 * flat_error
+
+    def test_estimated_hwt_comparable_to_seasonal_naive(self, split):
+        from repro.forecasting import EstimationBudget, RandomRestartNelderMead
+
+        train, test = split
+        horizon = PER_DAY
+        hwt = HoltWintersTaylor((48, 336))
+        result = RandomRestartNelderMead().estimate(
+            lambda p: hwt.insample_error(train, p),
+            hwt.parameter_space,
+            EstimationBudget.of_evaluations(40),
+            rng=np.random.default_rng(0),
+        )
+        hwt.fit(train, result.params)
+        naive = SeasonalNaiveModel(PER_WEEK).fit(train)
+        hwt_error = smape(test.values[:horizon], hwt.forecast(horizon).values)
+        naive_error = smape(test.values[:horizon], naive.forecast(horizon).values)
+        assert hwt_error < naive_error * 2.0
+
+    def test_update_matches_refit_predictions(self, demand):
+        """Incremental updates must track the batch recursion exactly."""
+        n_train = 2 * PER_WEEK + 5
+        train = demand.first(n_train)
+        rest = demand.window(demand.start + n_train, demand.start + n_train + 20)
+        incremental = HoltWintersTaylor((48, 336)).fit(train)
+        for v in rest.values:
+            incremental.update(float(v))
+        batch = HoltWintersTaylor((48, 336)).fit(
+            demand.first(n_train + 20), incremental.params
+        )
+        # identical init window (first 2*336 values) => identical state
+        np.testing.assert_allclose(
+            incremental.forecast(5).values, batch.forecast(5).values, rtol=1e-9
+        )
+
+    def test_error_grows_with_horizon(self, split):
+        train, test = split
+        model = HoltWintersTaylor((48, 336)).fit(train)
+        short = smape(test.values[:12], model.forecast(12).values)
+        long = smape(test.values[: 4 * PER_DAY], model.forecast(4 * PER_DAY).values)
+        assert long >= short * 0.8  # long horizons are never much better
+
+    def test_insample_error_scores_past_warmup(self, split):
+        train, _ = split
+        model = HoltWintersTaylor((48, 336))
+        err = model.insample_error(train, model._default_params())
+        assert 0 < err < 0.2
+
+    def test_params_property_requires_fit(self):
+        with pytest.raises(ForecastingError):
+            HoltWintersTaylor((48, 336)).params
+
+    def test_rejects_nonpositive_horizon(self, split):
+        train, _ = split
+        model = HoltWintersTaylor((48, 336)).fit(train)
+        with pytest.raises(ForecastingError):
+            model.forecast(0)
+
+
+class TestEGRV:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(7)
+        demand, temp = DemandModel().generate(
+            0, 42 * PER_DAY, rng, return_temperature=True
+        )
+        train, test = demand.split(35 * PER_DAY)
+        model = EGRVModel(AXIS, temperature=temp).fit(train)
+        return model, train, test
+
+    def test_needs_three_weeks(self):
+        short = uk_style_demand(14)
+        with pytest.raises(ForecastingError):
+            EGRVModel(AXIS).fit(short)
+
+    def test_one_equation_per_period(self, fitted):
+        model, _, _ = fitted
+        assert model._coefficients.shape == (PER_DAY, EGRVModel._N_FEATURES)
+
+    def test_day_ahead_accuracy(self, fitted):
+        model, _, test = fitted
+        error = smape(test.values[:PER_DAY], model.forecast(PER_DAY).values)
+        assert error < 0.05
+
+    def test_beats_flat_baseline(self, fitted):
+        model, train, test = fitted
+        horizon = PER_DAY
+        egrv_error = smape(test.values[:horizon], model.forecast(horizon).values)
+        flat_error = smape(
+            test.values[:horizon], np.full(horizon, train.values.mean())
+        )
+        assert egrv_error < flat_error
+
+    def test_works_without_temperature(self):
+        demand = uk_style_demand(28)
+        train = demand.first(21 * PER_DAY)
+        model = EGRVModel(AXIS).fit(train)
+        forecast = model.forecast(PER_DAY)
+        assert len(forecast) == PER_DAY
+        assert np.isfinite(forecast.values).all()
+
+    def test_parallel_fit_matches_sequential(self):
+        demand = uk_style_demand(28)
+        train = demand.first(21 * PER_DAY)
+        sequential = EGRVModel(AXIS, n_jobs=1).fit(train)
+        parallel = EGRVModel(AXIS, n_jobs=4).fit(train)
+        np.testing.assert_allclose(
+            sequential._coefficients, parallel._coefficients, rtol=1e-12
+        )
+
+    def test_update_returns_one_step_error(self, fitted):
+        model, _, test = fitted
+        predicted = model.forecast(1).values[0]
+        error = model.update(float(test.values[0]))
+        assert error == pytest.approx(test.values[0] - predicted)
+
+    def test_ridge_parameter_is_tunable(self, fitted):
+        _, train, _ = fitted
+        weak = EGRVModel(AXIS).fit(train, np.array([0.0]))
+        strong = EGRVModel(AXIS).fit(train, np.array([100.0]))
+        assert not np.allclose(weak._coefficients, strong._coefficients)
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ForecastingError):
+            EGRVModel(AXIS, n_jobs=0)

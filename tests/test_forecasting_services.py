@@ -1,0 +1,385 @@
+"""Tests for maintenance, pub/sub queries, context adaptation, hierarchy and
+flex-offer forecasting."""
+
+import numpy as np
+import pytest
+
+from repro.core import TimeSeries, flex_offer
+from repro.core.errors import ForecastingError
+from repro.datagen import uk_style_demand
+from repro.datagen.demand import HALF_HOURLY
+from repro.forecasting import (
+    ConfigurationAdvisor,
+    ContextAwareAdaptation,
+    ContextRepository,
+    EstimationBudget,
+    FlexOfferForecaster,
+    FlexOfferSeries,
+    ForecastPublisher,
+    HierarchyNode,
+    HoltWintersTaylor,
+    ModelMaintainer,
+    NaiveModel,
+    NodeMode,
+    RandomSearch,
+    SeasonalNaiveModel,
+    ThresholdBasedEvaluation,
+    TimeBasedEvaluation,
+    series_context,
+)
+
+PER_DAY = HALF_HOURLY.slices_per_day
+
+
+@pytest.fixture(scope="module")
+def demand():
+    return uk_style_demand(42)
+
+
+@pytest.fixture(scope="module")
+def train_test(demand):
+    return demand.split(demand.start + 35 * PER_DAY)
+
+
+class TestEvaluationStrategies:
+    def test_time_based_fires_on_interval(self):
+        strategy = TimeBasedEvaluation(3)
+        assert [strategy.observe(0.0) for _ in range(3)] == [False, False, True]
+        strategy.reset()
+        assert strategy.observe(0.0) is False
+
+    def test_time_based_rejects_bad_interval(self):
+        with pytest.raises(ForecastingError):
+            TimeBasedEvaluation(0)
+
+    def test_threshold_needs_full_window(self):
+        strategy = ThresholdBasedEvaluation(0.1, window=5)
+        for _ in range(4):
+            assert strategy.observe(0.9) is False  # window not yet full
+        assert strategy.observe(0.9) is True
+
+    def test_threshold_quiet_when_accurate(self):
+        strategy = ThresholdBasedEvaluation(0.5, window=3)
+        assert not any(strategy.observe(0.01) for _ in range(20))
+
+    def test_rolling_error_tracks_mean(self):
+        strategy = ThresholdBasedEvaluation(0.5, window=4)
+        for term in (0.1, 0.2, 0.3, 0.4):
+            strategy.observe(term)
+        assert strategy.rolling_error == pytest.approx(0.25)
+
+
+class TestModelMaintainer:
+    def test_requires_fitted_model(self):
+        with pytest.raises(ForecastingError):
+            ModelMaintainer(
+                HoltWintersTaylor((48, 336)),
+                RandomSearch(),
+                TimeBasedEvaluation(10),
+            )
+
+    def test_time_based_reestimation_count(self, train_test):
+        train, test = train_test
+        model = HoltWintersTaylor((48, 336)).fit(train)
+        maintainer = ModelMaintainer(
+            model,
+            RandomSearch(),
+            TimeBasedEvaluation(PER_DAY),
+            budget=EstimationBudget.of_evaluations(3),
+            history=train,
+        )
+        reestimations = maintainer.observe_series(test.first(3 * PER_DAY))
+        assert reestimations == 3
+        assert maintainer.report.observations == 3 * PER_DAY
+        assert maintainer.report.reestimations == 3
+
+    def test_model_stays_usable_after_maintenance(self, train_test):
+        train, test = train_test
+        model = HoltWintersTaylor((48, 336)).fit(train)
+        maintainer = ModelMaintainer(
+            model,
+            RandomSearch(),
+            TimeBasedEvaluation(PER_DAY),
+            budget=EstimationBudget.of_evaluations(2),
+            history=train,
+        )
+        maintainer.observe_series(test.first(PER_DAY))
+        forecast = model.forecast(10)
+        assert np.isfinite(forecast.values).all()
+
+
+class TestForecastPublisher:
+    def test_initial_delivery_on_subscribe(self, train_test):
+        train, _ = train_test
+        publisher = ForecastPublisher(HoltWintersTaylor((48, 336)).fit(train))
+        received = []
+        sub = publisher.subscribe("sched", PER_DAY, 0.05, received.append)
+        assert sub.notifications == 1
+        assert len(received) == 1
+
+    def test_small_changes_suppressed(self, train_test):
+        """A tight threshold notifies often, a loose one rarely."""
+        train, test = train_test
+        stream = test.first(2 * PER_DAY)
+
+        def run(threshold):
+            publisher = ForecastPublisher(
+                HoltWintersTaylor((48, 336)).fit(train)
+            )
+            sub = publisher.subscribe("s", PER_DAY, threshold)
+            publisher.on_series(stream)
+            return sub.notifications
+
+        assert run(0.50) < run(0.005) <= len(stream) + 1
+
+    def test_unsubscribe(self, train_test):
+        train, _ = train_test
+        publisher = ForecastPublisher(HoltWintersTaylor((48, 336)).fit(train))
+        sub = publisher.subscribe("s", 10, 0.0)
+        publisher.unsubscribe(sub)
+        assert publisher.subscriptions == ()
+
+    def test_invalid_subscription(self, train_test):
+        train, _ = train_test
+        publisher = ForecastPublisher(HoltWintersTaylor((48, 336)).fit(train))
+        with pytest.raises(ForecastingError):
+            publisher.subscribe("s", 0, 0.1)
+        with pytest.raises(ForecastingError):
+            publisher.subscribe("s", 5, -0.1)
+
+
+class TestContext:
+    def test_series_context_features(self, demand):
+        ctx = series_context(demand.first(4 * PER_DAY), season_length=PER_DAY)
+        assert ctx.shape == (4,)
+        assert ctx[0] > 0  # mean level of demand
+        assert ctx[2] > 0.5  # strong daily seasonality
+
+    def test_repository_nearest_prefers_similar(self):
+        repo = ContextRepository()
+        repo.store(np.array([1.0, 0.0]), np.array([0.1]), 0.05)
+        repo.store(np.array([100.0, 1.0]), np.array([0.9]), 0.01)
+        nearest = repo.nearest(np.array([2.0, 0.0]))
+        assert nearest[0].params[0] == pytest.approx(0.1)
+
+    def test_repository_empty_nearest(self):
+        assert ContextRepository().nearest(np.array([0.0])) == []
+
+    def test_adaptation_stores_cases_and_fits(self, train_test):
+        train, _ = train_test
+        adaptation = ContextAwareAdaptation(RandomSearch())
+        model = HoltWintersTaylor((48, 336))
+        result = adaptation.adapt(
+            model, train, EstimationBudget.of_evaluations(5),
+            rng=np.random.default_rng(0),
+        )
+        assert len(adaptation.repository) == 1
+        assert model.is_fitted
+        assert result.error < 0.5
+
+    def test_warm_start_from_repository_helps(self, train_test):
+        """With a stored near-optimal case, one evaluation suffices."""
+        train, _ = train_test
+        model = HoltWintersTaylor((48, 336))
+        good = RandomSearch().estimate(
+            lambda p: model.insample_error(train, p),
+            model.parameter_space,
+            EstimationBudget.of_evaluations(40),
+            rng=np.random.default_rng(1),
+        )
+        repo = ContextRepository()
+        repo.store(series_context(train), good.params, good.error)
+        adaptation = ContextAwareAdaptation(RandomSearch(), repo)
+        result = adaptation.adapt(
+            model, train, EstimationBudget.of_evaluations(2),
+            rng=np.random.default_rng(2),
+        )
+        assert result.error <= good.error + 1e-12
+
+
+def _hierarchy(demand):
+    """Two BRPs under one TSO; parent = sum of children."""
+    a = demand * 0.6
+    b = demand * 0.4
+    root = HierarchyNode("tso", a + b, [HierarchyNode("brp-a", a), HierarchyNode("brp-b", b)])
+    return root
+
+
+class TestHierarchy:
+    def test_consistency_validation(self, demand):
+        root = _hierarchy(demand)
+        root.validate_consistency()
+        broken = HierarchyNode(
+            "tso", demand * 2.0, [HierarchyNode("x", demand)]
+        )
+        with pytest.raises(ForecastingError):
+            broken.validate_consistency()
+
+    def test_walk_order(self, demand):
+        root = _hierarchy(demand)
+        assert [n.name for n in root.walk()] == ["tso", "brp-a", "brp-b"]
+
+    def test_evaluate_requires_leaf_models(self, demand):
+        root = _hierarchy(demand)
+        advisor = ConfigurationAdvisor(lambda: SeasonalNaiveModel(PER_DAY), PER_DAY)
+        with pytest.raises(ForecastingError):
+            advisor.evaluate(
+                root,
+                {"tso": NodeMode.OWN_MODEL, "brp-a": NodeMode.AGGREGATE,
+                 "brp-b": NodeMode.OWN_MODEL},
+            )
+
+    def test_aggregate_equals_sum_of_child_forecasts(self, demand):
+        root = _hierarchy(demand)
+        advisor = ConfigurationAdvisor(lambda: SeasonalNaiveModel(PER_DAY), PER_DAY)
+        config = advisor.evaluate(
+            root,
+            {"tso": NodeMode.AGGREGATE, "brp-a": NodeMode.OWN_MODEL,
+             "brp-b": NodeMode.OWN_MODEL},
+        )
+        # children scale the same series, so aggregate == own model here
+        assert config.model_count == 2
+        assert np.isfinite(config.root_error)
+
+    def test_advise_enumerates_and_respects_model_budget(self, demand):
+        root = _hierarchy(demand)
+        advisor = ConfigurationAdvisor(lambda: SeasonalNaiveModel(PER_DAY), PER_DAY)
+        best = advisor.advise(root, max_models=2)
+        assert best.model_count <= 2
+        assert best.modes["tso"] == NodeMode.AGGREGATE
+
+
+class TestFlexOfferForecasting:
+    def _offers(self):
+        offers = []
+        for day in range(14):
+            for hour_slot in (36, 40):  # two evening issue slots (30-min axis)
+                for _ in range(3):
+                    est = day * PER_DAY + hour_slot
+                    offers.append(
+                        flex_offer(
+                            [(1.0, 2.0)] * 4,
+                            earliest_start=est,
+                            latest_start=est + 8,
+                        )
+                    )
+        return offers
+
+    def test_decompose_counts(self):
+        offers = self._offers()
+        series = FlexOfferSeries.decompose(offers, 0, 14 * PER_DAY)
+        assert series.count.total() == len(offers)
+        assert series.count.at(36) == 3
+        assert series.time_flexibility.at(36) == 8
+        assert series.duration.at(36) == 4
+
+    def test_decompose_window_filter(self):
+        offers = self._offers()
+        series = FlexOfferSeries.decompose(offers, 0, PER_DAY)  # first day only
+        assert series.count.total() == 6
+
+    def test_decompose_rejects_empty_window(self):
+        with pytest.raises(ForecastingError):
+            FlexOfferSeries.decompose([], 5, 5)
+
+    def test_forecast_offers_recompose(self):
+        offers = self._offers()
+        series = FlexOfferSeries.decompose(offers, 0, 14 * PER_DAY)
+        forecaster = FlexOfferForecaster(lambda: SeasonalNaiveModel(PER_DAY)).fit(series)
+        predicted = forecaster.forecast_offers(PER_DAY)
+        # the daily pattern has two issue slots; expect offers at both
+        starts = {o.earliest_start % PER_DAY for o in predicted}
+        assert starts == {36, 40}
+        for offer in predicted:
+            assert offer.duration == 4
+            assert offer.time_flexibility == 8
+            assert offer.total_max_energy > offer.total_min_energy
+
+    def test_forecast_requires_fit(self):
+        forecaster = FlexOfferForecaster(NaiveModel)
+        with pytest.raises(ForecastingError):
+            forecaster.forecast_components(5)
+
+
+class TestFallbackModel:
+    """The paper's EGRV→HWT fallback rule."""
+
+    def _factories(self):
+        from repro.forecasting import EGRVModel, FallbackModel
+
+        primary = lambda: EGRVModel(HALF_HOURLY)
+        fallback = lambda: HoltWintersTaylor((48, 336))
+        return primary, fallback
+
+    def test_keeps_accurate_primary(self, demand):
+        from repro.forecasting import FallbackModel
+
+        primary, fallback = self._factories()
+        model = FallbackModel(primary, fallback, validation_slices=PER_DAY)
+        model.fit(demand.first(28 * PER_DAY))
+        # on well-behaved demand, EGRV is accurate: no fallback
+        assert not model.used_fallback
+        assert model.is_fitted
+        assert len(model.forecast(10)) == 10
+
+    def test_falls_back_when_primary_fails(self, demand):
+        from repro.forecasting import FallbackModel, NaiveModel
+
+        class Exploding(NaiveModel):
+            def forecast(self, horizon):
+                forecast = super().forecast(horizon)
+                return type(forecast)(forecast.start, forecast.values * np.inf)
+
+        model = FallbackModel(
+            Exploding, lambda: HoltWintersTaylor((48, 336)),
+            validation_slices=PER_DAY,
+        )
+        model.fit(demand.first(28 * PER_DAY))
+        assert model.used_fallback
+        assert np.isfinite(model.forecast(5).values).all()
+
+    def test_validation_errors_reported(self, demand):
+        from repro.forecasting import FallbackModel
+
+        primary, fallback = self._factories()
+        model = FallbackModel(primary, fallback, validation_slices=PER_DAY)
+        model.fit(demand.first(28 * PER_DAY))
+        errors = model.validation_errors
+        assert set(errors) == {"primary", "fallback"}
+        assert all(e >= 0 for e in errors.values())
+
+    def test_tolerance_prefers_primary_on_narrow_loss(self, demand):
+        from repro.forecasting import FallbackModel, SeasonalNaiveModel
+
+        # two similar candidates: generous tolerance keeps the primary
+        model = FallbackModel(
+            lambda: SeasonalNaiveModel(PER_DAY),
+            lambda: SeasonalNaiveModel(7 * PER_DAY),
+            validation_slices=PER_DAY,
+            tolerance=10.0,
+        )
+        model.fit(demand.first(28 * PER_DAY))
+        assert not model.used_fallback
+
+    def test_requires_enough_history(self):
+        from repro.forecasting import FallbackModel, NaiveModel
+
+        model = FallbackModel(NaiveModel, NaiveModel, validation_slices=10)
+        with pytest.raises(ForecastingError):
+            model.fit(TimeSeries(0, np.ones(5)))
+
+    def test_update_delegates_to_active(self, demand):
+        from repro.forecasting import FallbackModel, NaiveModel
+
+        model = FallbackModel(NaiveModel, NaiveModel, validation_slices=5)
+        model.fit(demand.first(PER_DAY))
+        error = model.update(float(demand.values[PER_DAY]))
+        assert np.isfinite(error)
+
+    def test_invalid_configuration(self):
+        from repro.forecasting import FallbackModel, NaiveModel
+
+        with pytest.raises(ForecastingError):
+            FallbackModel(NaiveModel, NaiveModel, validation_slices=0)
+        with pytest.raises(ForecastingError):
+            FallbackModel(NaiveModel, NaiveModel, tolerance=-1)

@@ -1,0 +1,201 @@
+"""Tests for flexibility potentials, pricing, acceptance and negotiation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ScheduledFlexOffer, flex_offer
+from repro.core.errors import NegotiationError
+from repro.negotiation import (
+    AcceptancePolicy,
+    Decision,
+    MonetizeFlexibilityPolicy,
+    Negotiator,
+    PotentialModel,
+    ProfitSharingPolicy,
+    sigmoid_potential,
+)
+
+
+def make_offer(tf=16, energy_flex=1.0, deadline=None, duration=4):
+    return flex_offer(
+        [(1.0, 1.0 + energy_flex)] * duration,
+        earliest_start=100,
+        latest_start=100 + tf,
+        assignment_before=deadline,
+    )
+
+
+class TestSigmoid:
+    def test_midpoint_is_half(self):
+        assert sigmoid_potential(5.0, 5.0, 2.0) == pytest.approx(0.5)
+
+    def test_monotone(self):
+        values = [sigmoid_potential(x, 5.0, 2.0) for x in range(0, 11)]
+        assert values == sorted(values)
+
+    def test_bounded(self):
+        assert 0.0 <= sigmoid_potential(-1e9, 0.0, 1.0) <= 1.0
+        assert sigmoid_potential(1e9, 0.0, 1.0) == 1.0
+
+    def test_rejects_bad_steepness(self):
+        with pytest.raises(NegotiationError):
+            sigmoid_potential(1.0, 0.0, 0.0)
+
+
+class TestPotentialModel:
+    def test_more_time_flex_more_potential(self):
+        model = PotentialModel()
+        low = model.potentials(make_offer(tf=2), now=0)
+        high = model.potentials(make_offer(tf=30), now=0)
+        assert high.scheduling > low.scheduling
+
+    def test_assignment_marginalised_at_trading_lead(self):
+        model = PotentialModel(trading_lead_slices=10)
+        near = model.potentials(make_offer(tf=16, deadline=110), now=100)
+        far = model.potentials(make_offer(tf=16, deadline=116), now=60)
+        # both hit the cap (10 vs capped 56): same potential
+        assert far.assignment == pytest.approx(near.assignment)
+
+    def test_no_scheduling_flex_low_potential(self):
+        model = PotentialModel()
+        p = model.potentials(make_offer(tf=0), now=0)
+        assert p.scheduling < 0.1
+
+    def test_energy_capped_at_grid_capacity(self):
+        model = PotentialModel(grid_capacity_kwh=2.0)
+        small = model.potentials(make_offer(energy_flex=0.5), now=0)
+        huge = model.potentials(make_offer(energy_flex=100.0), now=0)
+        assert huge.energy == pytest.approx(
+            sigmoid_potential(2.0, model.energy_midpoint, model.energy_steepness)
+        )
+        assert huge.energy >= small.energy
+
+    def test_invalid_configuration(self):
+        with pytest.raises(NegotiationError):
+            PotentialModel(trading_lead_slices=-1)
+        with pytest.raises(NegotiationError):
+            PotentialModel(grid_capacity_kwh=0)
+
+
+class TestMonetizeFlexibility:
+    def test_value_increases_with_flexibility(self):
+        policy = MonetizeFlexibilityPolicy()
+        inflexible = make_offer(tf=0, energy_flex=0.0)
+        flexible = make_offer(tf=30, energy_flex=5.0)
+        assert policy.value(flexible, 0) > policy.value(inflexible, 0)
+
+    def test_quote_below_value(self):
+        policy = MonetizeFlexibilityPolicy()
+        offer = make_offer()
+        quote = policy.quote(offer, 0, margin=0.25)
+        assert quote.amount_eur == pytest.approx(0.75 * policy.value(offer, 0))
+        assert quote.is_binding
+
+    def test_weight_validation(self):
+        with pytest.raises(NegotiationError):
+            MonetizeFlexibilityPolicy(
+                assignment_weight=0, scheduling_weight=0, energy_weight=0
+            )
+        with pytest.raises(NegotiationError):
+            MonetizeFlexibilityPolicy(assignment_weight=-1)
+
+    def test_margin_validation(self):
+        with pytest.raises(NegotiationError):
+            MonetizeFlexibilityPolicy().quote(make_offer(), 0, margin=1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tf=st.integers(0, 60), eflex=st.floats(0, 20), now=st.integers(0, 99))
+    def test_value_always_bounded(self, tf, eflex, now):
+        policy = MonetizeFlexibilityPolicy(value_scale_eur=2.0)
+        value = policy.value(make_offer(tf=tf, energy_flex=eflex), now)
+        max_value = 2.0 * (0.2 + 0.5 + 0.3)
+        assert 0.0 <= value <= max_value
+
+
+class TestProfitSharing:
+    def test_shares_positive_profit(self):
+        offer = make_offer(tf=10, energy_flex=0.0)
+        executed = ScheduledFlexOffer.at_minimum(offer, start=105)
+        # executing later is 10 EUR cheaper for the BRP
+        oracle = lambda s: 100.0 if s.start == offer.earliest_start else 90.0
+        quote = ProfitSharingPolicy(share=0.5).settle(executed, oracle)
+        assert quote.amount_eur == pytest.approx(5.0)
+        assert not quote.is_binding
+
+    def test_no_negative_compensation(self):
+        offer = make_offer(tf=10, energy_flex=0.0)
+        executed = ScheduledFlexOffer.at_minimum(offer, start=105)
+        oracle = lambda s: 100.0 if s.start == offer.earliest_start else 120.0
+        quote = ProfitSharingPolicy(share=0.5).settle(executed, oracle)
+        assert quote.amount_eur == 0.0
+
+    def test_share_validation(self):
+        with pytest.raises(NegotiationError):
+            ProfitSharingPolicy(share=1.5)
+
+
+class TestAcceptance:
+    def test_accepts_valuable_offer(self):
+        verdict = AcceptancePolicy().decide(make_offer(tf=30, energy_flex=5.0), now=0)
+        assert verdict.accepted
+        assert verdict.decision is Decision.ACCEPTED
+
+    def test_rejects_worthless_offer(self):
+        policy = AcceptancePolicy(processing_cost_eur=0.5)
+        verdict = policy.decide(make_offer(tf=0, energy_flex=0.0), now=0)
+        assert verdict.decision is Decision.REJECTED_UNPROFITABLE
+
+    def test_rejects_too_late(self):
+        policy = AcceptancePolicy(min_processing_slices=10)
+        offer = make_offer(tf=20, deadline=105)
+        verdict = policy.decide(offer, now=100)
+        assert verdict.decision is Decision.REJECTED_TOO_LATE
+
+    def test_validation(self):
+        with pytest.raises(NegotiationError):
+            AcceptancePolicy(processing_cost_eur=-1)
+
+
+class TestNegotiator:
+    def test_agreement_on_valuable_offer(self):
+        outcome = Negotiator().negotiate(
+            make_offer(tf=30, energy_flex=5.0), now=0,
+            prosumer_reservation_eur=0.1,
+        )
+        assert outcome.agreed
+        assert outcome.price_eur >= 0.1
+        assert outcome.rounds >= 1
+
+    def test_price_never_exceeds_brp_ceiling(self):
+        policy = AcceptancePolicy()
+        offer = make_offer(tf=30, energy_flex=5.0)
+        ceiling = (
+            policy.pricing.value(offer, 0) - policy.processing_cost_eur
+        )
+        outcome = Negotiator(policy).negotiate(
+            offer, now=0, prosumer_reservation_eur=0.0
+        )
+        assert outcome.price_eur <= ceiling + 1e-9
+
+    def test_rejected_offer_never_negotiated(self):
+        policy = AcceptancePolicy(min_processing_slices=50)
+        outcome = Negotiator(policy).negotiate(
+            make_offer(tf=20, deadline=110), now=100
+        )
+        assert outcome.rejected
+        assert outcome.decision is Decision.REJECTED_TOO_LATE
+        assert outcome.rounds == 0
+
+    def test_unreachable_reservation_fails(self):
+        outcome = Negotiator().negotiate(
+            make_offer(tf=30, energy_flex=5.0), now=0,
+            prosumer_reservation_eur=1e6,
+        )
+        assert outcome.rejected
+
+    def test_parameter_validation(self):
+        with pytest.raises(NegotiationError):
+            Negotiator(concession=0.0)
+        with pytest.raises(NegotiationError):
+            Negotiator(max_rounds=0)

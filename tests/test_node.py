@@ -1,0 +1,253 @@
+"""Tests for the message bus, devices, nodes and the end-to-end simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScheduledFlexOffer, flex_offer
+from repro.core.errors import CommunicationError
+from repro.core.timebase import DEFAULT_AXIS
+from repro.node import (
+    BaseLoad,
+    EVCharger,
+    HierarchySimulation,
+    Message,
+    MessageBus,
+    MessageType,
+    MicroCHP,
+    ProsumerNode,
+    ScenarioConfig,
+    SolarPanel,
+    WashingMachine,
+    default_household,
+)
+
+AXIS = DEFAULT_AXIS
+PER_DAY = AXIS.slices_per_day
+
+
+class TestMessageBus:
+    def test_fifo_delivery(self):
+        bus = MessageBus()
+        received = []
+        bus.register("a", received.append)
+        bus.register("b", lambda m: None)
+        bus.send(Message("b", "a", MessageType.MEASUREMENT, 1, 0))
+        bus.send(Message("b", "a", MessageType.MEASUREMENT, 2, 0))
+        assert bus.pending == 2
+        assert bus.dispatch_all() == 2
+        assert [m.payload for m in received] == [1, 2]
+
+    def test_unknown_recipient(self):
+        bus = MessageBus()
+        with pytest.raises(CommunicationError):
+            bus.send(Message("x", "ghost", MessageType.MEASUREMENT, 1, 0))
+
+    def test_duplicate_registration(self):
+        bus = MessageBus()
+        bus.register("a", lambda m: None)
+        with pytest.raises(CommunicationError):
+            bus.register("a", lambda m: None)
+
+    def test_handlers_can_enqueue_more(self):
+        bus = MessageBus()
+        log = []
+
+        def relay(message):
+            log.append(message.payload)
+            if message.payload < 3:
+                bus.send(
+                    Message("a", "a", MessageType.MEASUREMENT, message.payload + 1, 0)
+                )
+
+        bus.register("a", relay)
+        bus.send(Message("a", "a", MessageType.MEASUREMENT, 1, 0))
+        assert bus.dispatch_all() == 3
+        assert log == [1, 2, 3]
+
+    def test_unreachable_nodes_drop_messages(self):
+        bus = MessageBus()
+        bus.register("a", lambda m: None)
+        bus.set_unreachable("a")
+        bus.send(Message("x", "a", MessageType.MEASUREMENT, 1, 0))
+        # sender must exist too for send() bookkeeping simplicity
+        assert bus.dispatch_all() == 0
+        assert bus.dropped == 1
+        bus.set_unreachable("a", False)
+        bus.send(Message("x", "a", MessageType.MEASUREMENT, 1, 0))
+        assert bus.dispatch_all() == 1
+
+
+class TestDevices:
+    def test_base_load_positive_with_configured_mean(self):
+        rng = np.random.default_rng(0)
+        device = BaseLoad(AXIS, mean_kwh_per_day=6.0)
+        profile = device.baseline(0, rng)
+        assert profile.min() >= 0
+        assert profile.sum() == pytest.approx(6.0, rel=0.5)
+
+    def test_solar_produces_at_midday_only(self):
+        rng = np.random.default_rng(1)
+        profile = SolarPanel(AXIS).baseline(0, rng)
+        assert profile.max() <= 0  # production is negative
+        assert profile[: PER_DAY // 6].sum() == pytest.approx(0.0, abs=0.05)
+        midday = abs(profile[PER_DAY // 2 - 4 : PER_DAY // 2 + 4]).sum()
+        assert midday > 0
+
+    def test_ev_offer_fits_overnight_window(self):
+        rng = np.random.default_rng(2)
+        offers = EVCharger(AXIS, use_probability=1.0).flex_offers(0, rng)
+        assert len(offers) == 1
+        offer = offers[0]
+        per_hour = AXIS.slices_per_hour
+        assert offer.earliest_start >= 20 * per_hour
+        assert offer.latest_end <= (24 + 7) * per_hour
+        assert offer.time_flexibility > 0
+        assert offer.total_min_energy > 0  # consumption
+
+    def test_washing_machine_fixed_energy(self):
+        rng = np.random.default_rng(3)
+        offers = WashingMachine(AXIS, run_probability=1.0).flex_offers(0, rng)
+        offer = offers[0]
+        assert offer.total_energy_flexibility == pytest.approx(0.0)
+        assert offer.total_min_energy == pytest.approx(1.2)
+
+    def test_chp_offers_production(self):
+        rng = np.random.default_rng(4)
+        offers = MicroCHP(AXIS, run_probability=1.0).flex_offers(0, rng)
+        offer = offers[0]
+        assert not offer.is_consumption
+        assert offer.total_max_energy < 0
+
+    def test_default_household_always_has_base_load(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            devices = default_household(AXIS, rng)
+            assert any(isinstance(d, BaseLoad) for d in devices)
+
+
+class TestProsumerNode:
+    def _node(self, devices=None):
+        bus = MessageBus()
+        bus.register("brp", lambda m: None)
+        node = ProsumerNode(
+            "p1", AXIS, bus, devices or [EVCharger(AXIS, use_probability=1.0)], "brp"
+        )
+        return node, bus
+
+    def test_plan_day_submits_offers_and_baseline(self):
+        node, bus = self._node()
+        node.plan_day(0, 144, np.random.default_rng(0))
+        assert len(node.pending) == 1
+        assert bus.pending == 2  # measurement + offer
+        bus.dispatch_all()
+        assert bus.delivered[MessageType.FLEX_OFFER_SUBMIT] == 1
+
+    def test_fallback_execution_when_no_schedule_arrives(self):
+        node, _ = self._node()
+        node.plan_day(0, 144, np.random.default_rng(0))
+        executions = node.executions()
+        assert len(executions) == 1
+        offer = list(node.pending.values())[0]
+        assert executions[0].start == offer.earliest_start
+        assert executions[0].energies == offer.profile.max_energies()
+
+    def test_schedule_message_overrides_fallback(self):
+        node, _ = self._node()
+        node.plan_day(0, 144, np.random.default_rng(0))
+        offer = list(node.pending.values())[0]
+        scheduled = ScheduledFlexOffer.at_minimum(offer, start=offer.latest_start)
+        node.handle_message(
+            Message("brp", "p1", MessageType.SCHEDULED_FLEX_OFFER, scheduled, 0)
+        )
+        assert node.executions()[0].start == offer.latest_start
+
+    def test_production_fallback_runs_at_full_output(self):
+        node, _ = self._node([MicroCHP(AXIS, run_probability=1.0)])
+        node.plan_day(0, 144, np.random.default_rng(1))
+        execution = node.executions()[0]
+        offer = list(node.pending.values())[0]
+        assert execution.energies == offer.profile.min_energies()
+
+    def test_realized_load_includes_flex(self):
+        node, _ = self._node()
+        node.plan_day(0, 144, np.random.default_rng(0))
+        load = node.realized_load(0, 144)
+        assert load.total() > 0
+
+
+class TestHierarchySimulation:
+    def test_balancing_improves(self):
+        report = HierarchySimulation(ScenarioConfig(seed=3)).run()
+        assert report.offers_submitted > 0
+        assert report.offers_scheduled == report.offers_submitted
+        assert report.peak_demand_after < report.peak_demand_before
+        assert report.imbalance_after < report.imbalance_before
+        assert report.res_utilization_after >= report.res_utilization_before
+
+    def test_tso_path_schedules_everything(self):
+        report = HierarchySimulation(
+            ScenarioConfig(seed=3, use_tso=True)
+        ).run()
+        assert report.offers_scheduled == report.offers_submitted
+        assert report.imbalance_after < report.imbalance_before
+
+    def test_outage_falls_back_gracefully(self):
+        """Unreachable prosumers lose their schedules but the day completes —
+        the paper's graceful-degradation claim."""
+        config = ScenarioConfig(
+            seed=3, unreachable_prosumers=frozenset({"prosumer-0-0"})
+        )
+        report = HierarchySimulation(config).run()
+        assert report.messages_dropped > 0
+        assert report.offers_scheduled < report.offers_submitted
+        assert report.imbalance_after < report.imbalance_before  # still helps
+
+    def test_deterministic_under_seed(self):
+        a = HierarchySimulation(ScenarioConfig(seed=11)).run()
+        b = HierarchySimulation(ScenarioConfig(seed=11)).run()
+        assert a.imbalance_after == b.imbalance_after
+        assert a.offers_submitted == b.offers_submitted
+
+    def test_message_accounting(self):
+        report = HierarchySimulation(ScenarioConfig(seed=5)).run()
+        # every prosumer sends one baseline measurement plus its offers, and
+        # gets an accept + a schedule back for each offer
+        expected_minimum = (
+            2 * ScenarioConfig().prosumers_per_brp  # baselines, both BRPs
+            + 3 * report.offers_submitted
+        )
+        assert report.messages_delivered >= expected_minimum
+
+
+class TestBrpNegotiation:
+    def test_compensation_accumulates(self):
+        report = HierarchySimulation(ScenarioConfig(seed=3)).run()
+        total = sum(r.compensation_eur for r in report.brp_results.values())
+        assert total > 0  # every accepted offer was priced via negotiation
+        accepted = sum(r.accepted for r in report.brp_results.values())
+        assert total < accepted * 2.0  # bounded by per-offer value scale
+
+
+class TestHeatPump:
+    def test_two_anchored_blocks_with_shift(self):
+        from repro.node import HeatPump
+
+        rng = np.random.default_rng(8)
+        pump = HeatPump(AXIS)
+        offers = pump.flex_offers(0, rng)
+        assert len(offers) == 2
+        per_hour = AXIS.slices_per_hour
+        morning, evening = sorted(offers, key=lambda o: o.earliest_start)
+        assert 5 * per_hour <= morning.earliest_start < 6 * per_hour
+        assert 16 * per_hour <= evening.earliest_start < 17 * per_hour
+        for offer in offers:
+            assert offer.time_flexibility == 3 * per_hour
+            assert offer.total_energy_flexibility > 0
+
+    def test_standby_baseline(self):
+        from repro.node import HeatPump
+
+        rng = np.random.default_rng(8)
+        profile = HeatPump(AXIS).baseline(0, rng)
+        assert (profile > 0).all()
+        assert profile.sum() == pytest.approx(0.05 * 24, rel=1e-6)
