@@ -10,6 +10,8 @@ The library implements the full LEDMS node stack described in the paper:
 * :mod:`repro.negotiation` — flexibility pricing and acceptance (§7)
 * :mod:`repro.datamgmt` — dimensional (star/snowflake) data store (§3)
 * :mod:`repro.node` — LEDMS node runtime and the 3-level hierarchy (§§2-3, 8)
+* :mod:`repro.runtime` — streaming service loop: event-driven ingest,
+  incremental aggregation, triggered scheduling, load generation
 * :mod:`repro.datagen` — synthetic workloads standing in for the paper's data
 * :mod:`repro.experiments` — harnesses regenerating every figure in §9
 """

@@ -1,17 +1,25 @@
-"""Command-line entry point: regenerate paper experiments.
+"""Command-line entry point: experiments plus the streaming runtime.
 
 Usage::
 
     python -m repro list                # available experiments
+    python -m repro --list              # same, as a flag
     python -m repro fig5                # one experiment
     python -m repro all                 # everything (a few minutes)
     REPRO_SCALE=8 python -m repro fig5  # paper-scale aggregation run
+
+    python -m repro loadtest --rate 50 --duration 600 --seed 42
+    python -m repro serve --rate 20 --duration 2880 --report-every 96
+
+Exit codes: ``0`` success, ``1`` an experiment raised, ``2`` unknown
+experiment name (argparse usage errors also exit ``2``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from typing import Callable
 
 from .experiments import (
@@ -31,6 +39,10 @@ from .experiments.ablations import (
     run_price_grouping,
 )
 from .experiments.hierarchy_forecasting import run_hierarchy_forecasting
+
+EXIT_OK = 0
+EXIT_EXPERIMENT_FAILED = 1
+EXIT_UNKNOWN_EXPERIMENT = 2
 
 EXPERIMENTS: dict[str, tuple[Callable[[], object], str]] = {
     "fig4a": (run_fig4a, "estimator accuracy vs estimation time (Fig. 4a)"),
@@ -63,35 +75,190 @@ EXPERIMENTS: dict[str, tuple[Callable[[], object], str]] = {
     ),
 }
 
+#: Runtime subcommands handled by their own parsers (not experiment names).
+RUNTIME_COMMANDS: dict[str, str] = {
+    "serve": "run the streaming BRP service loop",
+    "loadtest": "replay a Poisson offer stream and report",
+}
 
+
+def _print_registry() -> None:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_, description) in EXPERIMENTS.items():
+        print(f"{name.ljust(width)}  {description}")
+    width = max(len(name) for name in RUNTIME_COMMANDS)
+    print()
+    print("runtime subcommands (see --help of each):")
+    for name, description in RUNTIME_COMMANDS.items():
+        print(f"{name.ljust(width)}  {description}")
+
+
+# ----------------------------------------------------------------------
+# runtime subcommands
+# ----------------------------------------------------------------------
+def _runtime_parser(command: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro {command}",
+        description=(
+            "Run the event-driven BRP runtime against a Poisson flex-offer "
+            "stream (simulated time; deterministic for a fixed seed)."
+        ),
+    )
+    parser.add_argument(
+        "--rate", type=float, default=50.0,
+        help="mean offer arrivals per simulated hour (default 50)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=600.0,
+        help="simulated slices to run (default 600 = 6.25 days at 15 min)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="stream + scheduler seed")
+    parser.add_argument(
+        "--batch", type=int, default=64,
+        help="pending updates per incremental aggregation run",
+    )
+    parser.add_argument(
+        "--horizon", type=int, default=192,
+        help="rolling scheduling horizon in slices",
+    )
+    parser.add_argument(
+        "--passes", type=int, default=2, help="greedy passes per scheduling run"
+    )
+    parser.add_argument(
+        "--trigger-count", type=int, default=200,
+        help="offers since last run that force a scheduling run",
+    )
+    parser.add_argument(
+        "--trigger-age", type=float, default=16.0,
+        help="max slices an offer may wait unscheduled",
+    )
+    parser.add_argument(
+        "--trigger-imbalance", type=float, default=2000.0,
+        help="unscheduled kWh that force a scheduling run",
+    )
+    parser.add_argument(
+        "--min-run-interval", type=float, default=2.0,
+        help="cooldown between scheduling runs (slices)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="also dump the full metrics registry",
+    )
+    if command == "serve":
+        parser.add_argument(
+            "--report-every", type=float, default=96.0,
+            help="simulated slices between progress lines",
+        )
+    return parser
+
+
+def _run_runtime(command: str, argv: list[str]) -> int:
+    from .runtime import (
+        AgeTrigger,
+        AnyTrigger,
+        BrpRuntimeService,
+        CountTrigger,
+        ImbalanceTrigger,
+        LoadGenerator,
+        RuntimeConfig,
+    )
+
+    from .core.errors import ServiceError
+
+    args = _runtime_parser(command).parse_args(argv)
+    try:
+        config = RuntimeConfig(
+            batch_size=args.batch,
+            horizon_slices=args.horizon,
+            scheduler_passes=args.passes,
+            trigger=AnyTrigger(
+                [
+                    CountTrigger(args.trigger_count),
+                    AgeTrigger(args.trigger_age),
+                    ImbalanceTrigger(args.trigger_imbalance),
+                ]
+            ),
+            min_run_interval_slices=args.min_run_interval,
+            seed=args.seed,
+        )
+        service = BrpRuntimeService(config)
+        generator = LoadGenerator(rate_per_hour=args.rate, seed=args.seed)
+    except ServiceError as exc:
+        print(f"error: invalid {command} configuration: {exc}", file=sys.stderr)
+        return EXIT_UNKNOWN_EXPERIMENT
+    print(
+        f"### {command}: rate={args.rate}/h duration={args.duration} slices "
+        f"seed={args.seed}"
+    )
+    try:
+        report = service.run_stream(
+            generator.stream(0.0, args.duration),
+            args.duration,
+            report_every=getattr(args, "report_every", None),
+        )
+    except ServiceError as exc:
+        print(f"error: invalid {command} configuration: {exc}", file=sys.stderr)
+        return EXIT_UNKNOWN_EXPERIMENT
+    print(report.as_text())
+    if args.metrics:
+        print()
+        print(service.metrics.render())
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
-    """Run the selected experiment(s); returns a process exit code."""
+    """Run the selected experiment(s) or runtime subcommand; returns exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in RUNTIME_COMMANDS:
+        return _run_runtime(argv[0], argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate experiments from the MIRABEL paper (see "
-        "EXPERIMENTS.md for the paper-vs-measured discussion).",
+        "EXPERIMENTS.md for the paper-vs-measured discussion), or drive the "
+        "streaming runtime via the 'serve' / 'loadtest' subcommands.",
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "list"],
-        help="experiment id, 'all', or 'list'",
+        nargs="?",
+        help="experiment id, 'all', or 'list' (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the experiment registry"
     )
     args = parser.parse_args(argv)
 
-    if args.experiment == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name, (_, description) in EXPERIMENTS.items():
-            print(f"{name.ljust(width)}  {description}")
-        return 0
+    if args.list or args.experiment == "list":
+        _print_registry()
+        return EXIT_OK
+    if args.experiment is None:
+        parser.print_usage(sys.stderr)
+        print("error: no experiment given (try --list)", file=sys.stderr)
+        return EXIT_UNKNOWN_EXPERIMENT
 
-    selected = (
-        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    )
+    if args.experiment == "all":
+        selected = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        selected = [args.experiment]
+    else:
+        print(
+            f"error: unknown experiment {args.experiment!r} "
+            "(run 'python -m repro --list' for the registry)",
+            file=sys.stderr,
+        )
+        return EXIT_UNKNOWN_EXPERIMENT
+
     for name in selected:
         runner, description = EXPERIMENTS[name]
         print(f"\n### {name}: {description}")
-        runner()
-    return 0
+        try:
+            runner()
+        except Exception:
+            traceback.print_exc()
+            print(f"error: experiment {name!r} failed", file=sys.stderr)
+            return EXIT_EXPERIMENT_FAILED
+    return EXIT_OK
 
 
 if __name__ == "__main__":

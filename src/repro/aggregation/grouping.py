@@ -66,9 +66,14 @@ class GroupBuilder:
 
         Returns one update per touched group: ``CREATED`` for new groups,
         ``MODIFIED`` for groups whose membership changed, ``DELETED`` for
-        groups that became empty.
+        groups that became empty.  Update kinds are relative to the state
+        *before* the flush: a group created and emptied within one flush
+        (an offer inserted and expired in the same batch — routine under
+        streaming ingest) emits nothing, since downstream components never
+        saw it; a group emptied and repopulated emits ``MODIFIED``.
         """
-        dirty: dict[tuple[int, ...], UpdateKind] = {}
+        # cell -> whether the group existed before its first touch this flush
+        touched: dict[tuple[int, ...], bool] = {}
 
         for update in self._pending:
             offer = update.offer
@@ -78,13 +83,11 @@ class GroupBuilder:
                     raise AggregationError(
                         f"deleting unknown flex-offer {offer.offer_id}"
                     )
+                touched.setdefault(cell, True)
                 group = self._groups[cell]
                 del group[offer.offer_id]
                 if not group:
                     del self._groups[cell]
-                    dirty[cell] = UpdateKind.DELETED
-                elif dirty.get(cell) is not UpdateKind.CREATED:
-                    dirty[cell] = UpdateKind.MODIFIED
             else:
                 if offer.offer_id in self._offer_cells:
                     raise AggregationError(
@@ -93,23 +96,25 @@ class GroupBuilder:
                 cell = self.parameters.group_key(offer)
                 group = self._groups.get(cell)
                 if group is None:
+                    touched.setdefault(cell, False)
                     group = self._groups[cell] = {}
-                    dirty[cell] = UpdateKind.CREATED
-                elif cell not in dirty:
-                    dirty[cell] = UpdateKind.MODIFIED
+                else:
+                    touched.setdefault(cell, True)
                 group[offer.offer_id] = offer
                 self._offer_cells[offer.offer_id] = cell
 
         self._pending.clear()
 
         updates: list[GroupUpdate] = []
-        for cell, kind in dirty.items():
+        for cell, existed_before in touched.items():
             members = self._groups.get(cell, {})
-            if kind is not UpdateKind.DELETED and not members:
-                kind = UpdateKind.DELETED  # created then emptied in one flush
-            updates.append(
-                GroupUpdate(kind, self._group_id(cell), tuple(members.values()))
-            )
+            gid = self._group_id(cell)
+            if not members:
+                if existed_before:
+                    updates.append(GroupUpdate(UpdateKind.DELETED, gid, ()))
+                continue
+            kind = UpdateKind.MODIFIED if existed_before else UpdateKind.CREATED
+            updates.append(GroupUpdate(kind, gid, tuple(members.values())))
         return updates
 
     def groups(self) -> dict[str, tuple[FlexOffer, ...]]:

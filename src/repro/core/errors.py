@@ -62,3 +62,7 @@ class DataManagementError(MirabelError):
 
 class CommunicationError(MirabelError):
     """Message routing failures in the simulated node network."""
+
+
+class ServiceError(MirabelError):
+    """The streaming runtime was misused (bad event times, invalid config)."""

@@ -11,7 +11,9 @@ from .flexoffers import (
     FlexOfferArchetype,
     FlexOfferDatasetSpec,
     generate_flexoffer_dataset,
+    household_archetypes,
     paper_dataset,
+    sample_archetype_offer,
 )
 from .weather import TemperatureModel, WindSpeedModel
 from .wind import PowerCurve, WindFarmModel, nrel_style_wind
@@ -25,7 +27,9 @@ __all__ = [
     "FlexOfferArchetype",
     "FlexOfferDatasetSpec",
     "generate_flexoffer_dataset",
+    "household_archetypes",
     "paper_dataset",
+    "sample_archetype_offer",
     "TemperatureModel",
     "WindSpeedModel",
     "PowerCurve",

@@ -139,8 +139,13 @@ def uk_style_demand(
     seed: int = 7,
     start: int = 0,
     axis: TimeAxis = HALF_HOURLY,
+    rng: np.random.Generator | None = None,
 ) -> TimeSeries:
-    """Convenience generator: ``n_days`` of half-hourly UK-like demand."""
+    """Convenience generator: ``n_days`` of half-hourly UK-like demand.
+
+    An explicit ``rng`` takes precedence over ``seed`` so callers managing
+    one stream of randomness (load generators, benchmarks) stay reproducible.
+    """
     model = DemandModel(axis=axis)
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(seed) if rng is None else rng
     return model.generate(start, n_days * axis.slices_per_day, rng)

@@ -25,7 +25,9 @@ __all__ = [
     "FlexOfferArchetype",
     "FlexOfferDatasetSpec",
     "generate_flexoffer_dataset",
+    "household_archetypes",
     "paper_dataset",
+    "sample_archetype_offer",
 ]
 
 
@@ -57,7 +59,7 @@ class FlexOfferArchetype:
             raise ValueError(f"{self.name}: time flexibilities must be >= 0")
 
 
-def _household_archetypes(axis: TimeAxis) -> tuple[FlexOfferArchetype, ...]:
+def household_archetypes(axis: TimeAxis) -> tuple[FlexOfferArchetype, ...]:
     """Default archetype mix (slices on the given axis)."""
     h = axis.slices_per_hour
     return (
@@ -128,18 +130,70 @@ class FlexOfferDatasetSpec:
     seed: int = 42
 
     def resolved_archetypes(self) -> tuple[FlexOfferArchetype, ...]:
-        return self.archetypes or _household_archetypes(self.axis)
+        return self.archetypes or household_archetypes(self.axis)
 
 
-def generate_flexoffer_dataset(spec: FlexOfferDatasetSpec) -> list[FlexOffer]:
+def _energy_band(
+    archetype: FlexOfferArchetype, quantile_step: int
+) -> EnergyConstraint:
+    """The archetype's energy band at one of its four 0.1-kWh-quantised steps."""
+    lo, hi = archetype.slice_energy
+    width = hi - lo
+    band_lo = round(lo + 0.1 * quantile_step * width, 1)
+    band_hi = round(band_lo + 0.6 * width, 1)
+    return EnergyConstraint(min(band_lo, band_hi), max(band_lo, band_hi))
+
+
+def sample_archetype_offer(
+    archetype: FlexOfferArchetype,
+    rng: np.random.Generator,
+    *,
+    axis: TimeAxis = DEFAULT_AXIS,
+    not_before: int = 0,
+    creation_time: int | None = None,
+    owner: str | None = None,
+) -> FlexOffer:
+    """Draw one flex-offer from an archetype, usable from a live stream.
+
+    The earliest start is the next occurrence of one of the archetype's
+    start hours at or after ``not_before`` (plus sub-hour jitter), so a
+    runtime ingesting the offer at ``not_before`` can always still schedule
+    it.  Attribute discreteness matches :func:`generate_flexoffer_dataset`
+    exactly — streamed offers aggregate as well as batch-generated ones.
+    """
+    per_hour = axis.slices_per_hour
+    per_day = axis.slices_per_day
+    hour = archetype.start_hours[int(rng.integers(len(archetype.start_hours)))]
+    duration = archetype.durations[int(rng.integers(len(archetype.durations)))]
+    time_flex = archetype.time_flexibilities[
+        int(rng.integers(len(archetype.time_flexibilities)))
+    ] + int(rng.integers(0, 4))
+    slice_of_day = hour * per_hour + int(rng.integers(0, per_hour))
+    est = (not_before // per_day) * per_day + slice_of_day
+    if est < not_before:
+        est += per_day
+    created = not_before if creation_time is None else creation_time
+    return FlexOffer(
+        profile=Profile([_energy_band(archetype, int(rng.integers(0, 4)))] * duration),
+        earliest_start=est,
+        latest_start=est + time_flex,
+        owner=archetype.name if owner is None else owner,
+        creation_time=min(created, est),
+    )
+
+
+def generate_flexoffer_dataset(
+    spec: FlexOfferDatasetSpec, rng: np.random.Generator | None = None
+) -> list[FlexOffer]:
     """Generate ``spec.n_offers`` flex-offers, deterministically from the seed.
 
     Offers are independent draws: pick an archetype by weight, a day
     uniformly, an hour from the archetype's start-hour pool, then duration,
     time flexibility and a per-slice energy band quantised to 0.1 kWh (again
-    for realistic duplication).
+    for realistic duplication).  Pass an explicit ``rng`` to draw from an
+    existing generator instead of seeding a fresh one from ``spec.seed``.
     """
-    rng = np.random.default_rng(spec.seed)
+    rng = np.random.default_rng(spec.seed) if rng is None else rng
     archetypes = spec.resolved_archetypes()
     weights = np.array([a.weight for a in archetypes], dtype=float)
     weights /= weights.sum()
@@ -169,11 +223,7 @@ def generate_flexoffer_dataset(spec: FlexOfferDatasetSpec) -> list[FlexOffer]:
         )
         est = int(days[i]) * per_day + hour * per_hour + int(u_quarter[i])
 
-        lo, hi = arch.slice_energy
-        width = hi - lo
-        band_lo = round(lo + 0.1 * u_lo[i] * width, 1)
-        band_hi = round(band_lo + 0.6 * width, 1)
-        constraint = EnergyConstraint(min(band_lo, band_hi), max(band_lo, band_hi))
+        constraint = _energy_band(arch, int(u_lo[i]))
 
         offers.append(
             FlexOffer(

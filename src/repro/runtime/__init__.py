@@ -1,0 +1,54 @@
+"""Streaming flex-offer runtime: the event-driven LEDMS service loop.
+
+The paper's aggregation component is explicitly incremental — it "accepts a
+set of flex-offer updates … and produces a set of aggregated flex-offer
+updates" (§4).  This package provides the *online* runtime that exercises
+that design the way a deployed MIRABEL BRP node would: a continuous stream
+of offer arrivals over simulated time, incremental aggregate maintenance,
+trigger-driven scheduling with warm starts, lifecycle persistence in the
+LEDMS store, and operational metrics end to end.
+
+Public API::
+
+    from repro.runtime import (
+        BrpRuntimeService, RuntimeConfig, RuntimeReport,
+        EventQueue, SimulatedClock,
+        FlexOfferIngest, LoadGenerator, MetricsRegistry,
+        TriggerContext, CountTrigger, AgeTrigger, ImbalanceTrigger, AnyTrigger,
+    )
+"""
+
+from .clock import ClockError, EventQueue, SimulatedClock
+from .ingest import FlexOfferIngest
+from .loadgen import LoadGenerator
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .service import BrpRuntimeService, RuntimeConfig, RuntimeReport
+from .triggers import (
+    AgeTrigger,
+    AnyTrigger,
+    CountTrigger,
+    ImbalanceTrigger,
+    TriggerContext,
+    TriggerPolicy,
+)
+
+__all__ = [
+    "AgeTrigger",
+    "AnyTrigger",
+    "BrpRuntimeService",
+    "ClockError",
+    "CountTrigger",
+    "Counter",
+    "EventQueue",
+    "FlexOfferIngest",
+    "Gauge",
+    "Histogram",
+    "ImbalanceTrigger",
+    "LoadGenerator",
+    "MetricsRegistry",
+    "RuntimeConfig",
+    "RuntimeReport",
+    "SimulatedClock",
+    "TriggerContext",
+    "TriggerPolicy",
+]

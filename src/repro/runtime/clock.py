@@ -1,0 +1,128 @@
+"""Simulated time and the event queue driving the streaming runtime.
+
+The online LEDMS runtime is event-driven: offer arrivals, expiry sweeps and
+periodic triggers are all :class:`Event` objects ordered by their *simulated*
+time — a slice index on the shared :class:`~repro.core.timebase.TimeAxis`,
+possibly fractional for sub-slice arrival jitter.  Running against simulated
+time keeps every test and load run deterministic: two runs with the same seed
+process the exact same events in the exact same order, regardless of how fast
+the hardware executes them.
+
+Ties are broken FIFO (by insertion order), so handlers that re-arm themselves
+at the current time cannot starve later events scheduled for the same slice.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from ..core.errors import ServiceError
+
+__all__ = ["ClockError", "SimulatedClock", "EventQueue"]
+
+
+class ClockError(ServiceError):
+    """Raised on attempts to move simulated time backwards."""
+
+
+class SimulatedClock:
+    """Monotonic simulated time, measured in (fractional) slice units."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (slice units)."""
+        return self._now
+
+    @property
+    def now_slice(self) -> int:
+        """Current simulated time truncated to a whole slice index."""
+        return int(self._now)
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` (never backwards)."""
+        if time < self._now:
+            raise ClockError(
+                f"cannot move simulated time backwards: {time} < {self._now}"
+            )
+        self._now = float(time)
+
+
+class EventQueue:
+    """A priority queue of timed callbacks over a :class:`SimulatedClock`.
+
+    Callbacks are invoked with no arguments after the clock has advanced to
+    their scheduled time; they may schedule further events (including at the
+    current time, which preserves FIFO order among equal times).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.clock = SimulatedClock(start)
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.processed = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        """Whether no events remain."""
+        return not self._heap
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at simulated ``time``."""
+        if time < self.clock.now:
+            raise ClockError(
+                f"cannot schedule event in the past: {time} < {self.clock.now}"
+            )
+        heapq.heappush(self._heap, (float(time), next(self._seq), callback))
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` slice units from now."""
+        if delay < 0:
+            raise ClockError(f"delay must be non-negative, got {delay}")
+        self.schedule_at(self.clock.now + delay, callback)
+
+    def next_time(self) -> float | None:
+        """Scheduled time of the earliest pending event (None when empty)."""
+        return self._heap[0][0] if self._heap else None
+
+    def run_next(self) -> bool:
+        """Pop and run the earliest event; returns False when queue is empty."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self.clock.advance_to(time)
+        self.processed += 1
+        callback()
+        return True
+
+    def run_until(self, end: float) -> int:
+        """Run every event scheduled at time ``<= end``; return the count.
+
+        The clock finishes at ``end`` even when the queue drains earlier, so
+        periodic reports and age-based triggers see consistent time.
+        """
+        ran = 0
+        while self._heap and self._heap[0][0] <= end:
+            self.run_next()
+            ran += 1
+        self.clock.advance_to(max(self.clock.now, float(end)))
+        return ran
+
+    def run_all(self, max_events: int | None = None) -> int:
+        """Drain the queue completely (or up to ``max_events``); return count."""
+        ran = 0
+        while self._heap:
+            if max_events is not None and ran >= max_events:
+                break
+            self.run_next()
+            ran += 1
+        return ran

@@ -1,0 +1,188 @@
+"""Lightweight operational metrics for the streaming runtime.
+
+The service loop threads one :class:`MetricsRegistry` through every stage
+(ingest → aggregate → schedule → disaggregate) so a load run can report
+throughput and latency without any external dependency.  Three instrument
+kinds cover the need:
+
+* :class:`Counter` — monotonically increasing event counts;
+* :class:`Gauge` — last-written values (pool sizes, queue depths);
+* :class:`Histogram` — observed distributions with exact quantiles.
+
+Histograms keep a bounded reservoir: below the bound every observation is
+retained and quantiles are exact; past it, reservoir sampling keeps an
+unbiased sample (deterministic — the reservoir uses its own seeded RNG, so
+metric output never perturbs workload randomness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ServiceError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ServiceError(f"counter {self.name}: negative increment {amount}")
+        self._value += amount
+
+
+class Gauge:
+    """A value that may go up and down (pool size, queue depth)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+
+class Histogram:
+    """Observed value distribution with exact (or sampled) quantiles.
+
+    ``reservoir_size`` bounds memory: once more observations arrive than fit,
+    reservoir sampling (Vitter's algorithm R) keeps a uniform sample.  The
+    count and sum always cover *every* observation.
+    """
+
+    __slots__ = ("name", "count", "total", "_values", "_capacity", "_rng")
+
+    def __init__(self, name: str, reservoir_size: int = 65536):
+        if reservoir_size <= 0:
+            raise ServiceError("reservoir_size must be positive")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self._values: list[float] = []
+        self._capacity = reservoir_size
+        self._rng = np.random.default_rng(0xC0FFEE)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if len(self._values) < self._capacity:
+            self._values.append(value)
+        else:
+            j = int(self._rng.integers(0, self.count))
+            if j < self._capacity:
+                self._values[j] = value
+
+    @property
+    def mean(self) -> float:
+        """Mean over all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the retained observations (0 if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ServiceError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            return 0.0
+        return float(np.quantile(np.asarray(self._values), q))
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    ``registry.counter("offers_ingested").inc()`` — the same name always
+    returns the same instrument; requesting an existing name as a different
+    kind is an error (it would silently fork the metric).
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = kind(name, **kwargs)
+        elif not isinstance(instrument, kind):
+            raise ServiceError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, reservoir_size: int = 65536) -> Histogram:
+        return self._get(name, Histogram, reservoir_size=reservoir_size)
+
+    # ------------------------------------------------------------------
+    def items(self) -> list[tuple[str, Counter | Gauge | Histogram]]:
+        """``(name, instrument)`` pairs, sorted by name."""
+        return sorted(self._instruments.items())
+
+    def as_dict(self) -> dict[str, float | dict[str, float]]:
+        """Flat snapshot: counters/gauges as floats, histograms as summaries."""
+        out: dict[str, float | dict[str, float]] = {}
+        for name, instrument in sorted(self._instruments.items()):
+            if isinstance(instrument, Histogram):
+                out[name] = {
+                    "count": float(instrument.count),
+                    "mean": instrument.mean,
+                    "p50": instrument.p50,
+                    "p95": instrument.p95,
+                }
+            else:
+                out[name] = instrument.value
+        return out
+
+    def render(self) -> str:
+        """Human-readable multi-line snapshot of every instrument."""
+        lines: list[str] = []
+        for name, instrument in sorted(self._instruments.items()):
+            if isinstance(instrument, Histogram):
+                lines.append(
+                    f"{name}: n={instrument.count} mean={instrument.mean:.6g} "
+                    f"p50={instrument.p50:.6g} p95={instrument.p95:.6g}"
+                )
+            else:
+                value = instrument.value
+                text = f"{value:g}" if value == int(value) else f"{value:.6g}"
+                lines.append(f"{name}: {text}")
+        return "\n".join(lines)

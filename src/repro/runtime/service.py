@@ -1,0 +1,682 @@
+"""The event-driven BRP service loop: ingest → aggregate → schedule → disaggregate.
+
+This is the online counterpart of :mod:`repro.node.simulation`'s one-shot
+planning day.  A :class:`BrpRuntimeService` consumes a continuous stream of
+flex-offer arrivals (simulated time via :class:`~repro.runtime.clock.EventQueue`),
+maintains the aggregate pool *incrementally* through the existing
+:class:`~repro.aggregation.pipeline.AggregationPipeline`, and re-runs
+scheduling when a :mod:`~repro.runtime.triggers` policy fires — warm-starting
+the greedy scheduler from the previous plan so sustained streams pay only for
+what changed.
+
+Lifecycle states flow through the :class:`~repro.datamgmt.mirabel.LedmsStore`
+(``submitted → accepted → aggregated → scheduled → executed/expired``), and a
+:class:`~repro.runtime.metrics.MetricsRegistry` is threaded through every
+stage so load tests report throughput and end-to-end latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..aggregation.aggregator import AggregatedFlexOffer, disaggregate
+from ..aggregation.pipeline import AggregationPipeline
+from ..aggregation.thresholds import AggregationParameters
+from ..aggregation.updates import AggregateUpdate, UpdateKind
+from ..core.errors import ServiceError
+from ..core.flexoffer import FlexOffer
+from ..core.schedule import ScheduledFlexOffer
+from ..core.timebase import DEFAULT_AXIS, TimeAxis
+from ..core.timeseries import TimeSeries
+from ..datamgmt.mirabel import LedmsStore
+from ..scheduling import (
+    CandidateSolution,
+    Market,
+    RandomizedGreedyScheduler,
+    SchedulingProblem,
+    SchedulingResult,
+)
+from .clock import EventQueue
+from .ingest import FlexOfferIngest
+from .metrics import MetricsRegistry
+from .triggers import (
+    AgeTrigger,
+    AnyTrigger,
+    CountTrigger,
+    ImbalanceTrigger,
+    TriggerContext,
+    TriggerPolicy,
+)
+
+__all__ = ["RuntimeConfig", "RuntimeReport", "BrpRuntimeService"]
+
+
+def _default_trigger() -> TriggerPolicy:
+    """Count for throughput, age for latency, imbalance for burst risk.
+
+    Thresholds match the ``loadtest``/``serve`` CLI defaults so library and
+    CLI runs behave identically out of the box.
+    """
+    return AnyTrigger(
+        [CountTrigger(200), AgeTrigger(16), ImbalanceTrigger(2_000.0)]
+    )
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Tuning knobs of the streaming BRP runtime."""
+
+    axis: TimeAxis = DEFAULT_AXIS
+    aggregation_parameters: AggregationParameters = field(
+        default_factory=lambda: AggregationParameters(
+            start_after_tolerance=8, time_flexibility_tolerance=8, name="runtime"
+        )
+    )
+    batch_size: int = 64
+    """Pending flex-offer updates that trigger an incremental pipeline run."""
+    horizon_slices: int = 192
+    """Rolling planning horizon (2 days on the 15-min axis)."""
+    scheduler_passes: int = 2
+    """Greedy passes per scheduling run (the warm start adds one evaluation)."""
+    buy_price: float = 0.20
+    sell_price: float = 0.05
+    shortage_penalty: float = 0.5
+    surplus_penalty: float = 0.2
+    trigger: TriggerPolicy = field(default_factory=_default_trigger)
+    min_run_interval_slices: float = 1.0
+    """Cooldown between scheduling runs, bounding trigger thrash."""
+    expiry_sweep_interval: float = 4.0
+    """Simulated slices between sweeps retiring closed-window offers."""
+    seed: int = 0
+    """Seed of the scheduler RNG (the load generator has its own)."""
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ServiceError("batch_size must be positive")
+        if self.horizon_slices <= 0:
+            raise ServiceError("horizon_slices must be positive")
+        if self.scheduler_passes <= 0:
+            raise ServiceError("scheduler_passes must be positive")
+        if self.expiry_sweep_interval <= 0:
+            raise ServiceError("expiry_sweep_interval must be positive")
+
+
+@dataclass
+class RuntimeReport:
+    """Summary of one runtime/load-test run."""
+
+    duration_slices: float
+    wall_seconds: float
+    offers_submitted: int
+    offers_accepted: int
+    offers_rejected: int
+    offers_scheduled: int
+    offers_executed: int
+    offers_expired: int
+    aggregation_runs: int
+    scheduling_runs: int
+    empty_scheduling_runs: int
+    trigger_fires: dict[str, int]
+    pool_aggregates: int
+    pool_offers: int
+    latency_slices_p50: float
+    latency_slices_p95: float
+    latency_wall_p50: float
+    latency_wall_p95: float
+    state_counts: dict[str, int] = field(default_factory=dict)
+    events_processed: int = 0
+    """Events the queue ran: arrivals plus sweep/report ticks."""
+
+    @property
+    def offers_per_second(self) -> float:
+        """Wall-clock ingest throughput of the whole loop."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.offers_accepted / self.wall_seconds
+
+    def as_text(self) -> str:
+        lines = [
+            f"simulated duration    {self.duration_slices:g} slices",
+            f"wall time             {self.wall_seconds:.3f} s",
+            f"offers submitted      {self.offers_submitted}",
+            f"offers accepted       {self.offers_accepted}",
+            f"offers rejected       {self.offers_rejected}",
+            f"offers scheduled      {self.offers_scheduled}",
+            f"offers executed       {self.offers_executed}",
+            f"offers expired        {self.offers_expired}",
+            f"throughput            {self.offers_per_second:.1f} offers/sec",
+            f"events processed      {self.events_processed}",
+            f"aggregation runs      {self.aggregation_runs}",
+            f"scheduling runs       {self.scheduling_runs} "
+            f"({self.empty_scheduling_runs} empty)",
+            "trigger fires         "
+            + (
+                ", ".join(f"{k}={v}" for k, v in sorted(self.trigger_fires.items()))
+                or "none"
+            ),
+            f"aggregate pool        {self.pool_aggregates} aggregates / "
+            f"{self.pool_offers} offers",
+            f"e2e latency (sim)     p50={self.latency_slices_p50:.2f} "
+            f"p95={self.latency_slices_p95:.2f} slices",
+            f"e2e latency (wall)    p50={self.latency_wall_p50 * 1e3:.2f} "
+            f"p95={self.latency_wall_p95 * 1e3:.2f} ms",
+        ]
+        if self.state_counts:
+            states = ", ".join(
+                f"{k}={v}" for k, v in self.state_counts.items() if v
+            )
+            lines.append(f"store state counts    {states}")
+        return "\n".join(lines)
+
+
+class BrpRuntimeService:
+    """Event-driven LEDMS service loop for one BRP node."""
+
+    def __init__(
+        self,
+        config: RuntimeConfig | None = None,
+        *,
+        store: LedmsStore | None = None,
+        metrics: MetricsRegistry | None = None,
+        net_forecast: TimeSeries | None = None,
+    ):
+        self.config = config if config is not None else RuntimeConfig()
+        self.store = (
+            store if store is not None else LedmsStore(self.config.axis)
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.net_forecast = net_forecast
+        self.queue = EventQueue()
+        self.pipeline = AggregationPipeline(self.config.aggregation_parameters)
+        self.ingest = FlexOfferIngest(
+            self.pipeline,
+            store=self.store,
+            metrics=self.metrics,
+            batch_size=self.config.batch_size,
+        )
+        self.scheduler = RandomizedGreedyScheduler()
+        self.pool: dict[str, AggregateUpdate] = {}
+        self.last_schedule = None
+        self._live: dict[int, FlexOffer] = {}
+        self._scheduled: set[int] = set()
+        self._scheduled_total = 0
+        self._committed_start: dict[int, int] = {}
+        self._stream_overflow: tuple[Iterable, float, FlexOffer] | None = None
+        self._arrival_sim: dict[int, float] = {}
+        self._arrival_wall: dict[int, float] = {}
+        self._warm: dict[str, tuple[int, np.ndarray]] = {}
+        self._offers_since_run = 0
+        self._last_run_time = -math.inf
+        self._rng = np.random.default_rng(self.config.seed)
+        # Running trigger-context state, so per-arrival trigger evaluation
+        # stays O(1) instead of scanning every live offer: total magnitude
+        # of unscheduled energy plus an arrival-ordered heap for the oldest
+        # unscheduled offer (entries invalidated lazily).
+        self._unscheduled_energy = 0.0
+        self._pending_heap: list[tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.queue.clock.now
+
+    @property
+    def _now_slice(self) -> int:
+        """First whole slice at which anything can still be started."""
+        return int(math.ceil(self.now))
+
+    @property
+    def live_offers(self) -> int:
+        """Accepted offers not yet retired."""
+        return len(self._live)
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def submit(self, offer: FlexOffer) -> bool:
+        """Admit one offer at the current simulated time; True if accepted."""
+        self.metrics.counter("runtime.offers_submitted").inc()
+        accepted = self.ingest.submit(offer, self._now_slice)
+        if accepted is None:
+            return False
+        oid = accepted.offer_id
+        self._live[oid] = accepted
+        self._arrival_sim[oid] = self.now
+        self._arrival_wall[oid] = time.perf_counter()
+        self._offers_since_run += 1
+        self._unscheduled_energy += self._offer_energy(accepted)
+        heapq.heappush(self._pending_heap, (self.now, oid))
+        self.metrics.gauge("runtime.live_offers").set(len(self._live))
+        if self.ingest.batch_full:
+            self.run_aggregation()
+        self.maybe_schedule()
+        return True
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def run_aggregation(self) -> list[AggregateUpdate]:
+        """Flush the ingest batch through the incremental pipeline."""
+        if self.ingest.pending_updates == 0:
+            return []
+        t0 = time.perf_counter()
+        updates = self.ingest.flush(self._now_slice)
+        for update in updates:
+            if update.kind is UpdateKind.DELETED:
+                self.pool.pop(update.group_id, None)
+                self._warm.pop(update.group_id, None)
+            else:
+                self.pool[update.group_id] = update
+        self.metrics.counter("aggregate.runs").inc()
+        self.metrics.histogram("aggregate.batch_seconds").observe(
+            time.perf_counter() - t0
+        )
+        self.metrics.gauge("aggregate.pool_size").set(len(self.pool))
+        return updates
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _offer_energy(offer: FlexOffer) -> float:
+        """The offer's largest-magnitude total energy (trigger accounting)."""
+        return max(abs(offer.total_min_energy), abs(offer.total_max_energy))
+
+    def _oldest_unscheduled_age(self) -> float:
+        """Age of the oldest live unscheduled offer (lazy heap cleanup)."""
+        while self._pending_heap:
+            arrival, oid = self._pending_heap[0]
+            if oid in self._live and oid not in self._scheduled:
+                return self.now - arrival
+            heapq.heappop(self._pending_heap)
+        return 0.0
+
+    def _trigger_context(self) -> TriggerContext:
+        return TriggerContext(
+            now=self.now,
+            offers_since_last_run=self._offers_since_run,
+            oldest_unscheduled_age=self._oldest_unscheduled_age(),
+            unscheduled_energy_kwh=max(0.0, self._unscheduled_energy),
+        )
+
+    def maybe_schedule(self, force: bool = False) -> SchedulingResult | None:
+        """Run scheduling if the trigger policy fires (or ``force``)."""
+        if not force:
+            if self.now - self._last_run_time < self.config.min_run_interval_slices:
+                return None
+            context = self._trigger_context()
+            trigger = self.config.trigger
+            if isinstance(trigger, AnyTrigger):
+                fired = trigger.fired_names(context)  # one evaluation pass
+                if not fired:
+                    return None
+            else:
+                if not trigger.should_fire(context):
+                    return None
+                fired = [type(trigger).__name__]
+            for name in fired:
+                self.metrics.counter(f"trigger.{name}").inc()
+        return self.run_scheduling()
+
+    def run_scheduling(self) -> SchedulingResult | None:
+        """One scheduling run over the eligible aggregate pool."""
+        # Retire offers whose committed start or window passed, then flush
+        # the batch, so the run never re-plans a device that already began
+        # executing and the pool is current.
+        self.sweep_expired()
+        self.run_aggregation()
+        self._last_run_time = self.now
+        self._offers_since_run = 0
+        self.metrics.counter("schedule.runs").inc()
+
+        start = self._now_slice
+        end = start + self.config.horizon_slices
+        eligible: list[tuple[str, AggregatedFlexOffer]] = []
+        originals: list[AggregatedFlexOffer] = []
+        for gid, update in self.pool.items():
+            aggregate = update.aggregate
+            if (
+                aggregate.latest_start < start
+                or aggregate.latest_start + aggregate.duration > end
+            ):
+                continue
+            if (
+                aggregate.assignment_before is not None
+                and aggregate.assignment_before <= start
+            ):
+                # The tightest member assignment deadline passed while the
+                # aggregate waited; scheduling it now would break the
+                # commitment (same rule the ingest stage applies on entry).
+                continue
+            original = aggregate
+            if aggregate.earliest_start < start:
+                # The earliest start passed while the offer waited, but the
+                # window is still open: clip rather than strand it.  The
+                # scheduler sees the clipped window; disaggregation uses the
+                # original aggregate, whose member offsets are anchored at
+                # the unclipped earliest start.
+                aggregate = aggregate.with_times(start, aggregate.latest_start)
+            eligible.append((gid, aggregate))
+            originals.append(original)
+        if not eligible:
+            self.metrics.counter("schedule.empty_runs").inc()
+            return None
+
+        problem = SchedulingProblem(
+            net_forecast=self._net_forecast_window(start, end),
+            offers=tuple(aggregate for _, aggregate in eligible),
+            market=Market.flat(
+                end - start,
+                buy_price=self.config.buy_price,
+                sell_price=self.config.sell_price,
+            ),
+            shortage_penalty=np.array(self.config.shortage_penalty),
+            surplus_penalty=np.array(self.config.surplus_penalty),
+        )
+        warm = self._warm_candidate(eligible)
+        t0 = time.perf_counter()
+        result = self.scheduler.schedule(
+            problem,
+            max_passes=self.config.scheduler_passes + (1 if warm is not None else 0),
+            rng=self._rng,
+            warm_start=warm,
+        )
+        self.metrics.histogram("schedule.run_seconds").observe(
+            time.perf_counter() - t0
+        )
+        self.metrics.gauge("schedule.last_cost").set(result.cost)
+        self.metrics.gauge("schedule.last_offers").set(len(eligible))
+        if warm is not None:
+            self.metrics.counter("schedule.warm_started").inc()
+
+        for (gid, _), start_slice, energies in zip(
+            eligible, result.solution.starts, result.solution.energies
+        ):
+            self._warm[gid] = (int(start_slice), np.asarray(energies).copy())
+
+        self.last_schedule = problem.to_schedule(result.solution)
+        self._disaggregate(self.last_schedule, originals)
+        return result
+
+    def _net_forecast_window(self, start: int, end: int) -> TimeSeries:
+        values = np.zeros(end - start)
+        series = self.net_forecast
+        if series is not None:
+            lo = max(start, series.start)
+            hi = min(end, series.end)
+            if hi > lo:
+                values[lo - start : hi - start] = series.window(lo, hi).values
+        return TimeSeries(start, values)
+
+    def _warm_candidate(
+        self, eligible: list[tuple[str, AggregatedFlexOffer]]
+    ) -> CandidateSolution | None:
+        """Previous plan projected onto the current pool (None if all new)."""
+        starts: list[int] = []
+        energies: list[np.ndarray] = []
+        any_warm = False
+        for gid, aggregate in eligible:
+            prior = self._warm.get(gid)
+            if prior is not None and len(prior[1]) == aggregate.duration:
+                start = int(
+                    np.clip(
+                        prior[0], aggregate.earliest_start, aggregate.latest_start
+                    )
+                )
+                values = np.array(
+                    [
+                        c.clamp(float(v))
+                        for c, v in zip(aggregate.profile, prior[1])
+                    ]
+                )
+                any_warm = True
+            else:
+                start = aggregate.earliest_start
+                values = np.array(aggregate.profile.min_energies())
+            starts.append(start)
+            energies.append(values)
+        if not any_warm:
+            return None
+        return CandidateSolution(np.array(starts, dtype=np.int64), energies)
+
+    def _disaggregate(self, schedule, originals) -> None:
+        """Map the aggregate schedule back to members; record latencies.
+
+        ``originals[i]`` is the pool aggregate behind ``schedule``'s ``i``-th
+        assignment — identical to the scheduled offer unless the window was
+        clipped, in which case disaggregation must run against the original
+        (member offsets are relative to its unclipped earliest start).
+        """
+        now = self._now_slice
+        latency_sim = self.metrics.histogram("latency.e2e_slices")
+        latency_wall = self.metrics.histogram("latency.e2e_wall_seconds")
+        members_out = 0
+        for assignment, original in zip(schedule, originals):
+            if assignment.offer is not original:
+                assignment = ScheduledFlexOffer(
+                    original, assignment.start, assignment.energies
+                )
+            for member in disaggregate(assignment):
+                members_out += 1
+                oid = member.offer.offer_id
+                if oid not in self._live:
+                    continue
+                self._committed_start[oid] = member.start
+                if oid in self._scheduled:
+                    continue
+                self._scheduled.add(oid)
+                self._scheduled_total += 1
+                self._unscheduled_energy -= self._offer_energy(self._live[oid])
+                latency_sim.observe(self.now - self._arrival_sim[oid])
+                latency_wall.observe(
+                    time.perf_counter() - self._arrival_wall[oid]
+                )
+                self.store.record_offer_event(
+                    member.offer.owner, member.offer, "scheduled", now
+                )
+        self.metrics.counter("disaggregate.assignments").inc(members_out)
+        self.metrics.gauge("schedule.unique_scheduled").set(self._scheduled_total)
+
+    # ------------------------------------------------------------------
+    # expiry
+    # ------------------------------------------------------------------
+    def sweep_expired(self) -> int:
+        """Retire offers whose start window closed; returns the count.
+
+        Scheduled offers transition to ``executed`` once their committed
+        start (or, failing that, their start window) has passed — a device
+        already running its plan must not be re-planned.  Unscheduled offers
+        transition to ``expired``, also when their assignment deadline
+        passed with the start window still open.  Both leave the aggregation
+        pool via incremental delete updates.
+        """
+        now = self.now
+        now_slice = self._now_slice
+
+        def deadline_passed(offer: FlexOffer) -> bool:
+            return (
+                offer.assignment_before is not None
+                and offer.assignment_before <= now
+            )
+
+        def execution_began(oid: int, offer: FlexOffer) -> bool:
+            return (
+                offer.latest_start < now
+                or self._committed_start.get(oid, math.inf) < now
+            )
+
+        executed = [
+            o
+            for oid, o in self._live.items()
+            if oid in self._scheduled and execution_began(oid, o)
+        ]
+        expired = [
+            o
+            for oid, o in self._live.items()
+            if oid not in self._scheduled
+            and (o.latest_start < now or deadline_passed(o))
+        ]
+        self.ingest.retire(executed, now_slice, "executed")
+        self.ingest.retire(expired, now_slice, "expired")
+        for offer in expired:
+            self._unscheduled_energy -= self._offer_energy(offer)
+        for offer in (*executed, *expired):
+            oid = offer.offer_id
+            del self._live[oid]
+            self._arrival_sim.pop(oid, None)
+            self._arrival_wall.pop(oid, None)
+            self._committed_start.pop(oid, None)
+            # Keep the scheduled set bounded to live offers; the cumulative
+            # count lives in _scheduled_total.
+            self._scheduled.discard(oid)
+        self.metrics.counter("runtime.offers_executed").inc(len(executed))
+        self.metrics.counter("runtime.offers_expired").inc(len(expired))
+        self.metrics.gauge("runtime.live_offers").set(len(self._live))
+        retired = len(executed) + len(expired)
+        if retired:
+            self.run_aggregation()
+        return retired
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def run_stream(
+        self,
+        arrivals: Iterable[tuple[float, FlexOffer]],
+        duration_slices: float,
+        *,
+        report_every: float | None = None,
+        report_sink: Callable[[str], None] = print,
+    ) -> RuntimeReport:
+        """Process an arrival stream for ``duration_slices`` of simulated time.
+
+        ``arrivals`` yields ``(time, offer)`` pairs in non-decreasing time
+        order (e.g. from :class:`~repro.runtime.loadgen.LoadGenerator.stream`);
+        events beyond the window are ignored.  The iterator is consumed
+        lazily — one pending arrival at a time — so arbitrarily long streams
+        run in constant memory.  After the window closes, a final sweep,
+        flush and forced scheduling run drain the remaining work.
+        """
+        if report_every is not None and report_every <= 0:
+            raise ServiceError(
+                f"report_every must be positive, got {report_every}"
+            )
+        t_wall = time.perf_counter()
+        start = self.now
+        end = start + duration_slices
+
+        arrivals_iter = iter(arrivals)
+        # A previous run_stream on this same iterator may have pulled one
+        # arrival beyond its window to discover the window closed; replay it.
+        if (
+            self._stream_overflow is not None
+            and self._stream_overflow[0] is arrivals_iter
+        ):
+            overflow = [self._stream_overflow[1:]]
+            self._stream_overflow = None  # other iterators' holds stay put
+        else:
+            overflow = []
+
+        def next_arrival() -> tuple[float, FlexOffer] | None:
+            if overflow:
+                return overflow.pop()
+            return next(arrivals_iter, None)
+
+        def arm_next_arrival() -> None:
+            item = next_arrival()
+            if item is None:
+                return
+            arrival_time, offer = item
+            if arrival_time >= end:
+                # Hold the lookahead for a follow-up run on this iterator.
+                self._stream_overflow = (arrivals_iter, arrival_time, offer)
+                return
+            self.queue.schedule_at(
+                arrival_time,
+                lambda offer=offer: (self.submit(offer), arm_next_arrival()),
+            )
+
+        arm_next_arrival()
+
+        def sweep_tick() -> None:
+            self.sweep_expired()
+            self.maybe_schedule()
+            next_time = self.now + self.config.expiry_sweep_interval
+            if next_time < end:
+                self.queue.schedule_at(next_time, sweep_tick)
+
+        self.queue.schedule_at(
+            min(start + self.config.expiry_sweep_interval, end), sweep_tick
+        )
+
+        if report_every is not None:
+
+            def report_tick() -> None:
+                report_sink(
+                    f"[t={self.now:8.1f}] live={len(self._live)} "
+                    f"pool={len(self.pool)} scheduled={self._scheduled_total} "
+                    f"sched_runs="
+                    f"{int(self.metrics.counter('schedule.runs').value)}"
+                )
+                next_time = self.now + report_every
+                if next_time < end:
+                    self.queue.schedule_at(next_time, report_tick)
+
+            self.queue.schedule_at(min(start + report_every, end), report_tick)
+
+        self.queue.run_until(end)
+
+        # Drain: retire closed windows, aggregate the tail, schedule once more.
+        self.sweep_expired()
+        self.run_aggregation()
+        self.maybe_schedule(force=True)
+
+        return self.report(
+            duration_slices=duration_slices,
+            wall_seconds=time.perf_counter() - t_wall,
+        )
+
+    # ------------------------------------------------------------------
+    def report(
+        self, *, duration_slices: float, wall_seconds: float
+    ) -> RuntimeReport:
+        """Snapshot the run into a :class:`RuntimeReport`."""
+        def counter(name: str) -> int:
+            return int(self.metrics.counter(name).value)
+
+        trigger_fires = {
+            name.split(".", 1)[1]: int(instrument.value)
+            for name, instrument in self.metrics.items()
+            if name.startswith("trigger.")
+        }
+        sim = self.metrics.histogram("latency.e2e_slices")
+        wall = self.metrics.histogram("latency.e2e_wall_seconds")
+        return RuntimeReport(
+            duration_slices=duration_slices,
+            wall_seconds=wall_seconds,
+            offers_submitted=counter("runtime.offers_submitted"),
+            offers_accepted=counter("ingest.accepted"),
+            offers_rejected=counter("ingest.rejected"),
+            offers_scheduled=self._scheduled_total,
+            offers_executed=counter("runtime.offers_executed"),
+            offers_expired=counter("runtime.offers_expired"),
+            aggregation_runs=counter("aggregate.runs"),
+            scheduling_runs=counter("schedule.runs"),
+            empty_scheduling_runs=counter("schedule.empty_runs"),
+            trigger_fires=trigger_fires,
+            pool_aggregates=len(self.pool),
+            pool_offers=self.pipeline.input_count,
+            latency_slices_p50=sim.p50,
+            latency_slices_p95=sim.p95,
+            latency_wall_p50=wall.p50,
+            latency_wall_p95=wall.p95,
+            state_counts=self.store.state_counts(),
+            events_processed=self.queue.processed,
+        )

@@ -1,0 +1,123 @@
+"""Trigger policies: when should the BRP re-run scheduling?
+
+The paper's control component invokes aggregation and scheduling "when
+required"; in a streaming node that decision is a policy over the live state.
+Each policy inspects a :class:`TriggerContext` snapshot and answers whether a
+scheduling run should fire *now*:
+
+* :class:`CountTrigger` — enough new offers accumulated since the last run;
+* :class:`AgeTrigger` — the oldest unscheduled offer has waited too long
+  (bounds scheduling latency under light traffic);
+* :class:`ImbalanceTrigger` — the unscheduled flexible energy exceeds a
+  kWh threshold (fires early under bursts of large offers);
+* :class:`AnyTrigger` — fires when any child fires (the usual composite:
+  count for throughput, age for latency, imbalance for risk).
+
+Policies are stateless between decisions; the service resets its context
+counters after every scheduling run, so "since the last run" semantics live
+in the context, not the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from ..core.errors import ServiceError
+
+__all__ = [
+    "TriggerContext",
+    "TriggerPolicy",
+    "CountTrigger",
+    "AgeTrigger",
+    "ImbalanceTrigger",
+    "AnyTrigger",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TriggerContext:
+    """Snapshot of the runtime state a trigger decision is based on.
+
+    All quantities refer to the window since the last scheduling run.
+    """
+
+    now: float
+    """Current simulated time (slice units)."""
+    offers_since_last_run: int
+    """Offers accepted since the previous scheduling run."""
+    oldest_unscheduled_age: float
+    """Simulated slices the oldest unscheduled offer has waited (0 if none)."""
+    unscheduled_energy_kwh: float
+    """Unscheduled flexible energy at risk: the sum over unscheduled offers
+    of each offer's largest-magnitude total energy, ``max(|total_min|,
+    |total_max|)`` kWh."""
+
+
+@runtime_checkable
+class TriggerPolicy(Protocol):
+    """Decides whether a scheduling run should fire for a given context."""
+
+    def should_fire(self, context: TriggerContext) -> bool:
+        """True when scheduling should run now."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class CountTrigger:
+    """Fire once ``threshold`` offers arrived since the last run."""
+
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ServiceError("CountTrigger threshold must be positive")
+
+    def should_fire(self, context: TriggerContext) -> bool:
+        return context.offers_since_last_run >= self.threshold
+
+
+@dataclass(frozen=True, slots=True)
+class AgeTrigger:
+    """Fire once any unscheduled offer waited ``max_age_slices`` or longer."""
+
+    max_age_slices: float
+
+    def __post_init__(self) -> None:
+        if self.max_age_slices <= 0:
+            raise ServiceError("AgeTrigger max_age_slices must be positive")
+
+    def should_fire(self, context: TriggerContext) -> bool:
+        return context.oldest_unscheduled_age >= self.max_age_slices
+
+
+@dataclass(frozen=True, slots=True)
+class ImbalanceTrigger:
+    """Fire once unscheduled flexible energy reaches ``threshold_kwh``."""
+
+    threshold_kwh: float
+
+    def __post_init__(self) -> None:
+        if self.threshold_kwh <= 0:
+            raise ServiceError("ImbalanceTrigger threshold_kwh must be positive")
+
+    def should_fire(self, context: TriggerContext) -> bool:
+        return context.unscheduled_energy_kwh >= self.threshold_kwh
+
+
+class AnyTrigger:
+    """Composite policy: fires when any member policy fires."""
+
+    def __init__(self, policies: Sequence[TriggerPolicy]):
+        if not policies:
+            raise ServiceError("AnyTrigger needs at least one policy")
+        self.policies = tuple(policies)
+
+    def should_fire(self, context: TriggerContext) -> bool:
+        return any(p.should_fire(context) for p in self.policies)
+
+    def fired_names(self, context: TriggerContext) -> list[str]:
+        """Class names of the member policies that fire for ``context``."""
+        return [
+            type(p).__name__ for p in self.policies if p.should_fire(context)
+        ]

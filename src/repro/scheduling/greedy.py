@@ -33,12 +33,21 @@ class RandomizedGreedyScheduler:
         budget_seconds: float | None = None,
         max_passes: int | None = None,
         rng: np.random.Generator | None = None,
+        warm_start: CandidateSolution | None = None,
     ) -> SchedulingResult:
-        """Run greedy passes until the time budget or pass count is reached."""
+        """Run greedy passes until the time budget or pass count is reached.
+
+        ``warm_start`` seeds the tracker with an existing candidate (e.g. the
+        previous planning run's solution in a streaming runtime) before any
+        greedy pass runs; it counts as one evaluation against ``max_passes``
+        and the result is only ever at least as good as the warm candidate.
+        """
         rng = rng or np.random.default_rng()
         tracker = CostTracker(
             budget_seconds, None if max_passes is None else max_passes
         )
+        if warm_start is not None:
+            tracker.record(problem.cost(warm_start), warm_start)
         while not tracker.exhausted():
             solution = self._one_pass(problem, rng)
             tracker.record(problem.cost(solution), solution)

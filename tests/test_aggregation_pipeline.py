@@ -94,13 +94,29 @@ class TestGroupBuilder:
         assert [u.kind for u in updates] == [UpdateKind.DELETED]
         assert gb.group_count == 0
 
-    def test_insert_and_delete_same_flush(self):
+    def test_insert_and_delete_same_flush_emits_nothing(self):
+        # A group created and emptied within one flush was never visible to
+        # downstream components, so no update may be emitted for it (a
+        # DELETED here would crash the n-to-1 aggregator on an unknown group).
         gb = GroupBuilder(P0)
         fo = _offer(10, 4)
         gb.accumulate(FlexOfferUpdate.insert(fo))
         gb.accumulate(FlexOfferUpdate.delete(fo))
+        assert gb.flush() == []
+        assert gb.group_count == 0
+        assert gb.offer_count == 0
+
+    def test_empty_and_repopulate_same_flush_is_modification(self):
+        gb = GroupBuilder(P0)
+        first = _offer(10, 4)
+        gb.accumulate(FlexOfferUpdate.insert(first))
+        gb.flush()
+        replacement = _offer(10, 4)
+        gb.accumulate(FlexOfferUpdate.delete(first))
+        gb.accumulate(FlexOfferUpdate.insert(replacement))
         updates = gb.flush()
-        assert [u.kind for u in updates] == [UpdateKind.DELETED]
+        assert [u.kind for u in updates] == [UpdateKind.MODIFIED]
+        assert updates[0].offers == (replacement,)
 
     def test_delete_unknown_offer_raises(self):
         gb = GroupBuilder(P0)
@@ -236,6 +252,70 @@ class TestPipeline:
         pipe.submit_deletes([fo])
         deleted = pipe.run()
         assert [u.kind for u in deleted] == [UpdateKind.DELETED]
+
+    def test_add_remove_readd_incremental_lifecycle(self):
+        """An offer added, removed, and re-added flows incrementally.
+
+        Each phase runs the pipeline separately (no batching effects) and
+        must emit the right update kind while keeping a co-grouped sibling's
+        aggregate membership consistent throughout.
+        """
+        pipe = AggregationPipeline(P0)
+        sibling = _offer(10, 8)
+        volatile = _offer(10, 8)
+
+        pipe.submit_inserts([sibling])
+        first = pipe.run()
+        assert [u.kind for u in first] == [UpdateKind.CREATED]
+        gid = first[0].group_id
+        assert first[0].aggregate.member_count == 1
+
+        # Add: same cell, so the existing group is modified, not recreated.
+        pipe.submit_inserts([volatile])
+        added = pipe.run()
+        assert [(u.kind, u.group_id) for u in added] == [
+            (UpdateKind.MODIFIED, gid)
+        ]
+        assert added[0].aggregate.member_count == 2
+
+        # Remove: back to one member; the group survives.
+        pipe.submit_deletes([volatile])
+        removed = pipe.run()
+        assert [(u.kind, u.group_id) for u in removed] == [
+            (UpdateKind.MODIFIED, gid)
+        ]
+        assert removed[0].aggregate.member_count == 1
+        assert removed[0].aggregate.members[0].offer_id == sibling.offer_id
+
+        # Re-add the same offer (identity may return after a withdrawal).
+        pipe.submit_inserts([volatile])
+        readded = pipe.run()
+        assert [(u.kind, u.group_id) for u in readded] == [
+            (UpdateKind.MODIFIED, gid)
+        ]
+        assert readded[0].aggregate.member_count == 2
+        assert pipe.input_count == 2
+
+        # The maintained aggregate equals a from-scratch rebuild.
+        rebuilt = aggregate_from_scratch([sibling, volatile], P0)
+        maintained = pipe.aggregates
+        assert len(rebuilt) == len(maintained) == 1
+        assert rebuilt[0].profile == maintained[0].profile
+        assert rebuilt[0].earliest_start == maintained[0].earliest_start
+        assert rebuilt[0].time_flexibility == maintained[0].time_flexibility
+
+    def test_add_remove_readd_last_member_recreates_group(self):
+        pipe = AggregationPipeline(P0)
+        fo = _offer(10, 8)
+        pipe.submit_inserts([fo])
+        assert [u.kind for u in pipe.run()] == [UpdateKind.CREATED]
+        pipe.submit_deletes([fo])
+        assert [u.kind for u in pipe.run()] == [UpdateKind.DELETED]
+        assert pipe.input_count == 0
+        pipe.submit_inserts([fo])
+        recreated = pipe.run()
+        assert [u.kind for u in recreated] == [UpdateKind.CREATED]
+        assert recreated[0].aggregate.member_count == 1
 
 
 @settings(max_examples=60, deadline=None)

@@ -170,15 +170,74 @@ class TestHierarchyForecastingHarness:
 
 
 class TestCli:
-    def test_list_and_run(self, capsys):
+    def test_list_positional(self, capsys):
         from repro.__main__ import main
 
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "fig5" in out and "balancing" in out
 
-    def test_unknown_experiment_rejected(self):
+    def test_list_flag(self, capsys):
         from repro.__main__ import main
 
-        with pytest.raises(SystemExit):
-            main(["not-an-experiment"])
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "loadtest" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        from repro.__main__ import EXIT_UNKNOWN_EXPERIMENT, main
+
+        assert main(["not-an-experiment"]) == EXIT_UNKNOWN_EXPERIMENT
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_no_experiment_exit_code(self, capsys):
+        from repro.__main__ import EXIT_UNKNOWN_EXPERIMENT, main
+
+        assert main([]) == EXIT_UNKNOWN_EXPERIMENT
+
+    def test_failing_experiment_exit_code(self, capsys, monkeypatch):
+        from repro import __main__ as cli
+
+        def boom():
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig5", (boom, "broken"))
+        assert cli.main(["fig5"]) == cli.EXIT_EXPERIMENT_FAILED
+        assert "failed" in capsys.readouterr().err
+        assert cli.EXIT_EXPERIMENT_FAILED != cli.EXIT_UNKNOWN_EXPERIMENT
+
+    def test_loadtest_smoke(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "loadtest",
+                "--rate", "20",
+                "--duration", "24",
+                "--seed", "1",
+                "--trigger-count", "20",
+                "--batch", "8",
+                "--passes", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "offers/sec" in out and "p95" in out
+
+    def test_serve_smoke(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "serve",
+                "--rate", "20",
+                "--duration", "24",
+                "--seed", "1",
+                "--report-every", "12",
+                "--batch", "8",
+                "--passes", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[t=" in out and "offers/sec" in out

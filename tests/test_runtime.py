@@ -1,0 +1,279 @@
+"""Unit tests for the streaming runtime building blocks.
+
+Clock/event queue, metrics registry, trigger policies, the ingest stage and
+the Poisson load generator — the service loop itself is covered end-to-end
+in ``test_runtime_service.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AggregationParameters, AggregationPipeline
+from repro.core import flex_offer
+from repro.core.errors import ServiceError
+from repro.core.timebase import DEFAULT_AXIS
+from repro.datamgmt import LedmsStore
+from repro.runtime import (
+    AgeTrigger,
+    AnyTrigger,
+    ClockError,
+    CountTrigger,
+    EventQueue,
+    FlexOfferIngest,
+    ImbalanceTrigger,
+    LoadGenerator,
+    MetricsRegistry,
+    SimulatedClock,
+    TriggerContext,
+)
+
+
+def _offer(est, tf=4, duration=2, lo=1.0, hi=2.0, **kw):
+    return flex_offer(
+        [(lo, hi)] * duration, earliest_start=est, latest_start=est + tf, **kw
+    )
+
+
+class TestClock:
+    def test_advance_monotonic(self):
+        clock = SimulatedClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+        assert clock.now_slice == 3
+        with pytest.raises(ClockError):
+            clock.advance_to(2.0)
+
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(5, lambda: seen.append("c"))
+        queue.schedule_at(1, lambda: seen.append("a"))
+        queue.schedule_at(3, lambda: seen.append("b"))
+        queue.run_all()
+        assert seen == ["a", "b", "c"]
+
+    def test_equal_times_run_fifo(self):
+        queue = EventQueue()
+        seen = []
+        for tag in "abc":
+            queue.schedule_at(2, lambda tag=tag: seen.append(tag))
+        queue.run_all()
+        assert seen == ["a", "b", "c"]
+
+    def test_run_until_stops_and_advances_clock(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(1, lambda: seen.append(1))
+        queue.schedule_at(10, lambda: seen.append(10))
+        assert queue.run_until(5) == 1
+        assert seen == [1]
+        assert queue.clock.now == 5.0
+        assert len(queue) == 1
+
+    def test_handlers_may_reschedule(self):
+        queue = EventQueue()
+        seen = []
+
+        def tick():
+            seen.append(queue.clock.now)
+            if queue.clock.now < 3:
+                queue.schedule_after(1, tick)
+
+        queue.schedule_at(1, tick)
+        queue.run_until(10)
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        queue = EventQueue()
+        queue.clock.advance_to(5)
+        with pytest.raises(ClockError):
+            queue.schedule_at(4, lambda: None)
+        with pytest.raises(ClockError):
+            queue.schedule_after(-1, lambda: None)
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+        with pytest.raises(ServiceError):
+            counter.inc(-1)
+
+    def test_gauge_up_and_down(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.dec(2)
+        assert gauge.value == 3
+
+    def test_histogram_exact_quantiles(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value)
+        assert histogram.count == 100
+        assert histogram.mean == pytest.approx(50.5)
+        assert histogram.p50 == pytest.approx(50.5)
+        assert histogram.p95 == pytest.approx(95.05)
+
+    def test_histogram_reservoir_bounds_memory(self):
+        histogram = MetricsRegistry().histogram("h", reservoir_size=64)
+        for value in range(1000):
+            histogram.observe(value)
+        assert histogram.count == 1000
+        assert len(histogram._values) == 64
+        # Sampled quantile stays in the observed range.
+        assert 0 <= histogram.p50 <= 999
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        with pytest.raises(ServiceError):
+            registry.gauge("a")
+
+    def test_render_and_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.as_dict()
+        assert snapshot["c"] == 2
+        assert snapshot["h"]["count"] == 1
+        assert "c: 2" in registry.render()
+
+
+class TestTriggers:
+    def _context(self, **kw):
+        defaults = dict(
+            now=0.0,
+            offers_since_last_run=0,
+            oldest_unscheduled_age=0.0,
+            unscheduled_energy_kwh=0.0,
+        )
+        defaults.update(kw)
+        return TriggerContext(**defaults)
+
+    def test_count_trigger(self):
+        trigger = CountTrigger(10)
+        assert not trigger.should_fire(self._context(offers_since_last_run=9))
+        assert trigger.should_fire(self._context(offers_since_last_run=10))
+
+    def test_age_trigger(self):
+        trigger = AgeTrigger(8)
+        assert not trigger.should_fire(self._context(oldest_unscheduled_age=7.9))
+        assert trigger.should_fire(self._context(oldest_unscheduled_age=8.0))
+
+    def test_imbalance_trigger(self):
+        trigger = ImbalanceTrigger(100.0)
+        assert not trigger.should_fire(self._context(unscheduled_energy_kwh=99))
+        assert trigger.should_fire(self._context(unscheduled_energy_kwh=100))
+
+    def test_any_trigger_composite(self):
+        trigger = AnyTrigger([CountTrigger(10), AgeTrigger(8)])
+        context = self._context(offers_since_last_run=3, oldest_unscheduled_age=9)
+        assert trigger.should_fire(context)
+        assert trigger.fired_names(context) == ["AgeTrigger"]
+        assert not trigger.should_fire(self._context())
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ServiceError):
+            CountTrigger(0)
+        with pytest.raises(ServiceError):
+            AgeTrigger(-1)
+        with pytest.raises(ServiceError):
+            ImbalanceTrigger(0)
+        with pytest.raises(ServiceError):
+            AnyTrigger([])
+
+
+class TestIngest:
+    def _ingest(self, batch_size=4, store=None):
+        pipeline = AggregationPipeline(
+            AggregationParameters(8, 8, name="test")
+        )
+        return FlexOfferIngest(pipeline, store=store, batch_size=batch_size)
+
+    def test_accepts_and_batches(self):
+        ingest = self._ingest(batch_size=2)
+        assert ingest.submit(_offer(10), now=0) is not None
+        assert not ingest.batch_full
+        assert ingest.submit(_offer(11), now=0) is not None
+        assert ingest.batch_full
+        updates = ingest.flush(now=0)
+        assert updates and ingest.pending_updates == 0
+        assert ingest.pipeline.input_count == 2
+
+    def test_rejects_closed_window(self):
+        ingest = self._ingest()
+        assert ingest.submit(_offer(5, tf=2), now=10) is None
+        assert ingest.metrics.counter("ingest.rejected").value == 1
+
+    def test_rejects_zero_energy(self):
+        ingest = self._ingest()
+        offer = _offer(10, lo=0.0, hi=0.0)
+        assert ingest.submit(offer, now=0) is None
+
+    def test_clips_partially_passed_window(self):
+        ingest = self._ingest()
+        accepted = ingest.submit(_offer(5, tf=10), now=8)
+        assert accepted is not None
+        assert accepted.earliest_start == 8
+        assert accepted.latest_start == 15
+
+    def test_lifecycle_recorded_in_store(self):
+        store = LedmsStore(DEFAULT_AXIS)
+        ingest = self._ingest(store=store)
+        offer = ingest.submit(_offer(10), now=0)
+        assert store.offer_state(offer.offer_id) == "accepted"
+        ingest.flush(now=0)
+        assert store.offer_state(offer.offer_id) == "aggregated"
+        ingest.retire([offer], now=20, state="expired")
+        assert store.offer_state(offer.offer_id) == "expired"
+        counts = store.state_counts()
+        assert counts["expired"] == 1
+
+    def test_retire_flows_deletes_through_pipeline(self):
+        ingest = self._ingest(batch_size=1)
+        offer = ingest.submit(_offer(10), now=0)
+        ingest.flush(now=0)
+        assert ingest.pipeline.input_count == 1
+        ingest.retire([offer], now=20, state="expired")
+        ingest.flush(now=20)
+        assert ingest.pipeline.input_count == 0
+
+
+class TestLoadGenerator:
+    def test_deterministic_stream(self):
+        first = list(LoadGenerator(rate_per_hour=30, seed=7).stream(0, 48))
+        second = list(LoadGenerator(rate_per_hour=30, seed=7).stream(0, 48))
+        assert len(first) == len(second) > 0
+        for (t1, o1), (t2, o2) in zip(first, second):
+            assert t1 == t2
+            assert o1.earliest_start == o2.earliest_start
+            assert o1.profile == o2.profile
+
+    def test_arrivals_increasing_within_window(self):
+        events = list(LoadGenerator(rate_per_hour=60, seed=1).stream(10, 48))
+        times = [t for t, _ in events]
+        assert times == sorted(times)
+        assert all(10 <= t < 58 for t in times)
+
+    def test_offers_ingestible_on_arrival(self):
+        for t, offer in LoadGenerator(rate_per_hour=40, seed=3).stream(0, 96):
+            assert offer.creation_time <= offer.earliest_start
+            assert offer.earliest_start > t
+
+    def test_rate_scales_volume(self):
+        slow = LoadGenerator(rate_per_hour=10, seed=5).offers(0, 24 * 4)
+        fast = LoadGenerator(rate_per_hour=100, seed=5).offers(0, 24 * 4)
+        assert len(fast) > 5 * len(slow)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ServiceError):
+            LoadGenerator(rate_per_hour=0)
+
+    def test_explicit_rng_wins_over_seed(self):
+        rng = np.random.default_rng(123)
+        a = LoadGenerator(rate_per_hour=20, seed=0, rng=rng).offers(0, 48)
+        b = LoadGenerator(rate_per_hour=20, seed=0, rng=np.random.default_rng(123)).offers(0, 48)
+        assert [o.earliest_start for o in a] == [o.earliest_start for o in b]

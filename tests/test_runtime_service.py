@@ -1,0 +1,330 @@
+"""End-to-end tests of the streaming BRP service loop (tiny, deterministic).
+
+The configs here follow the CP-SAT test discipline: fixed seeds, small rates
+and short simulated windows so the whole file runs in seconds while still
+driving every stage (ingest → incremental aggregation → triggered scheduling
+→ disaggregation → expiry) through real traffic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import flex_offer
+from repro.core.errors import ServiceError
+from repro.runtime import (
+    AgeTrigger,
+    AnyTrigger,
+    BrpRuntimeService,
+    CountTrigger,
+    ImbalanceTrigger,
+    LoadGenerator,
+    RuntimeConfig,
+)
+
+TINY = RuntimeConfig(
+    batch_size=8,
+    horizon_slices=96,
+    scheduler_passes=1,
+    trigger=AnyTrigger([CountTrigger(20), AgeTrigger(8), ImbalanceTrigger(400.0)]),
+    min_run_interval_slices=2.0,
+    seed=0,
+)
+
+
+def _run(duration=48, rate=30, seed=11, config=TINY, **kwargs):
+    service = BrpRuntimeService(config, **kwargs)
+    generator = LoadGenerator(rate_per_hour=rate, seed=seed)
+    report = service.run_stream(generator.stream(0, duration), duration)
+    return service, report
+
+
+def _offer(est, tf=4, duration=2, lo=1.0, hi=2.0, **kw):
+    return flex_offer(
+        [(lo, hi)] * duration, earliest_start=est, latest_start=est + tf, **kw
+    )
+
+
+class TestServiceLoop:
+    def test_stream_flows_through_all_stages(self):
+        service, report = _run()
+        assert report.offers_accepted > 0
+        assert report.offers_scheduled > 0
+        assert report.aggregation_runs > 0
+        assert report.scheduling_runs > 0
+        assert report.offers_accepted == report.offers_submitted - report.offers_rejected
+        # Every accepted offer ends up scheduled, expired, or still live.
+        assert (
+            report.offers_scheduled + report.offers_expired
+            >= report.offers_accepted - service.live_offers
+        )
+
+    def test_incremental_pool_maintained(self):
+        service, report = _run()
+        # The pool's micro-offer count matches the live, unretired set.
+        assert report.pool_offers == service.live_offers
+        assert report.pool_aggregates == len(service.pool)
+        assert report.pool_aggregates <= report.pool_offers
+
+    def test_store_records_full_lifecycle(self):
+        service, report = _run()
+        counts = service.store.state_counts()
+        assert counts["scheduled"] + counts["executed"] == report.offers_scheduled
+        assert counts["expired"] == report.offers_expired
+        tracked = sum(counts.values())
+        assert tracked == report.offers_accepted
+
+    def test_deterministic_for_fixed_seed(self):
+        _, first = _run(duration=36, seed=5)
+        _, second = _run(duration=36, seed=5)
+        assert first.offers_accepted == second.offers_accepted
+        assert first.offers_scheduled == second.offers_scheduled
+        assert first.scheduling_runs == second.scheduling_runs
+        assert first.trigger_fires == second.trigger_fires
+        assert first.latency_slices_p95 == second.latency_slices_p95
+
+    def test_different_seed_different_stream(self):
+        _, first = _run(duration=36, seed=5)
+        _, second = _run(duration=36, seed=6)
+        assert first.offers_accepted != second.offers_accepted
+
+    def test_latency_bounded_by_age_trigger(self):
+        # With a horizon wide enough that every arriving offer's window fits
+        # immediately, the age trigger (8 slices) plus the cooldown bounds
+        # end-to-end latency; a narrow horizon instead defers far-out offers.
+        config = RuntimeConfig(
+            batch_size=8,
+            horizon_slices=240,
+            scheduler_passes=1,
+            trigger=AnyTrigger([CountTrigger(20), AgeTrigger(8)]),
+            min_run_interval_slices=2.0,
+        )
+        service, report = _run(duration=96, config=config)
+        assert 0 < report.latency_slices_p95 <= 16
+
+    def test_report_text_mentions_key_metrics(self):
+        _, report = _run(duration=24)
+        text = report.as_text()
+        assert "offers/sec" in text
+        assert "p95" in text
+        assert "scheduling runs" in text
+
+
+class TestSchedulingIntegration:
+    def test_warm_start_used_on_rescheduling(self):
+        service, _ = _run(duration=48)
+        assert service.metrics.counter("schedule.warm_started").value > 0
+
+    def test_scheduled_members_respect_their_bounds(self):
+        service, _ = _run(duration=48)
+        schedule = service.last_schedule
+        assert schedule is not None
+        # Validity of member assignments is enforced by ScheduledFlexOffer's
+        # own invariants during disaggregation; re-check the aggregates here.
+        for assignment in schedule:
+            offer = assignment.offer
+            assert offer.earliest_start <= assignment.start <= offer.latest_start
+            for energy, constraint in zip(assignment.energies, offer.profile):
+                assert constraint.contains(energy)
+
+    def test_manual_submit_and_forced_run(self):
+        service = BrpRuntimeService(TINY)
+        for i in range(6):
+            assert service.submit(_offer(10 + i, tf=6))
+        service.run_aggregation()
+        result = service.maybe_schedule(force=True)
+        assert result is not None
+        assert len(service._scheduled) == 6
+
+    def test_past_earliest_start_still_schedulable(self):
+        # An offer whose earliest start passed while it waited must not be
+        # stranded: the window is clipped to "now" and it still schedules.
+        service = BrpRuntimeService(TINY)
+        service.submit(_offer(2, tf=20))
+        service.run_aggregation()
+        service.queue.clock.advance_to(10)  # earliest_start=2 is now past
+        result = service.maybe_schedule(force=True)
+        assert result is not None
+        assert len(service._scheduled) == 1
+        schedule = service.last_schedule
+        assert schedule.assignments[0].start >= 10
+
+    def test_empty_pool_schedule_is_counted_not_run(self):
+        service = BrpRuntimeService(TINY)
+        result = service.maybe_schedule(force=True)
+        assert result is None
+        assert service.metrics.counter("schedule.empty_runs").value == 1
+
+
+class TestExpiry:
+    def test_unscheduled_offers_expire(self):
+        config = RuntimeConfig(
+            batch_size=8,
+            horizon_slices=96,
+            scheduler_passes=1,
+            # Triggers that never fire: offers age out unscheduled.
+            trigger=CountTrigger(10_000),
+            min_run_interval_slices=2.0,
+        )
+        service = BrpRuntimeService(config)
+        service.submit(_offer(2, tf=2))
+        service.queue.clock.advance_to(10)
+        retired = service.sweep_expired()
+        assert retired == 1
+        report = service.report(duration_slices=10, wall_seconds=0.1)
+        assert report.offers_expired == 1
+        assert report.pool_offers == 0
+
+    def test_scheduled_offers_execute(self):
+        service = BrpRuntimeService(TINY)
+        service.submit(_offer(4, tf=2))
+        service.run_aggregation()
+        service.maybe_schedule(force=True)
+        service.queue.clock.advance_to(20)
+        service.sweep_expired()
+        counts = service.store.state_counts()
+        assert counts["executed"] == 1
+        assert service.live_offers == 0
+
+    def test_begun_offer_not_replanned(self):
+        # Once an offer's committed start passes, re-planning must not move
+        # it: the next scheduling run retires it as executed first.
+        service = BrpRuntimeService(TINY)
+        service.submit(_offer(4, tf=20))
+        service.run_aggregation()
+        service.maybe_schedule(force=True)
+        (oid,) = list(service._scheduled)
+        committed = service._committed_start[oid]
+        service.queue.clock.advance_to(committed + 1)
+        result = service.maybe_schedule(force=True)
+        assert result is None  # pool emptied by the pre-run sweep
+        assert service.store.offer_state(oid) == "executed"
+        assert service.live_offers == 0
+
+    def test_scheduled_set_pruned_but_total_kept(self):
+        service = BrpRuntimeService(TINY)
+        service.submit(_offer(4, tf=2))
+        service.run_aggregation()
+        service.maybe_schedule(force=True)
+        assert len(service._scheduled) == 1
+        service.queue.clock.advance_to(20)
+        service.sweep_expired()
+        # The live tracking set is bounded; the report total is cumulative.
+        assert len(service._scheduled) == 0
+        report = service.report(duration_slices=20, wall_seconds=0.1)
+        assert report.offers_scheduled == 1
+
+    def test_expiry_before_flush_keeps_terminal_state(self):
+        # An offer retired while its insert still sits in the unflushed
+        # batch must stay "expired" — the flush may not regress it to
+        # "aggregated" (and the pipeline must not crash on the
+        # insert+delete pair cancelling within one run).
+        config = RuntimeConfig(
+            batch_size=1000,  # never auto-flush
+            horizon_slices=96,
+            scheduler_passes=1,
+            trigger=CountTrigger(10_000),
+        )
+        service = BrpRuntimeService(config)
+        service.submit(_offer(2, tf=2))
+        (offer_id,) = list(service._live)
+        service.queue.clock.advance_to(10)
+        service.sweep_expired()
+        service.run_aggregation()
+        assert service.store.offer_state(offer_id) == "expired"
+        assert service.pipeline.input_count == 0
+
+
+class TestAssignmentDeadline:
+    def test_aggregate_past_assignment_deadline_not_scheduled(self):
+        service = BrpRuntimeService(TINY)
+        service.submit(_offer(10, tf=20, assignment_before=12))
+        service.run_aggregation()
+        service.queue.clock.advance_to(14)  # deadline passed, window open
+        result = service.maybe_schedule(force=True)
+        assert result is None  # only ineligible work → empty run
+        assert len(service._scheduled) == 0
+
+    def test_deadline_passed_offer_expires_despite_open_window(self):
+        service = BrpRuntimeService(TINY)
+        service.submit(_offer(10, tf=20, assignment_before=12))
+        service.run_aggregation()
+        service.queue.clock.advance_to(14)
+        service.sweep_expired()
+        counts = service.store.state_counts()
+        assert counts["expired"] == 1
+        assert service.live_offers == 0
+
+
+class TestRunStreamValidation:
+    def test_zero_report_every_rejected(self):
+        service = BrpRuntimeService(TINY)
+        with pytest.raises(ServiceError):
+            service.run_stream([], 10, report_every=0)
+
+    def test_sequential_windows_do_not_lose_boundary_arrival(self):
+        # Discovering the window closed requires pulling one arrival beyond
+        # it; a follow-up run_stream on the same iterator must replay that
+        # lookahead instead of dropping it.
+        def arrivals():
+            yield 1.0, _offer(10, tf=6)
+            yield 15.0, _offer(25, tf=6)
+            yield 21.0, _offer(30, tf=6)
+
+        service = BrpRuntimeService(TINY)
+        stream = arrivals()
+        first = service.run_stream(stream, 10)
+        assert first.offers_accepted == 1
+        second = service.run_stream(stream, 10)  # window [10, 20)
+        assert second.offers_accepted == 2
+        third = service.run_stream(stream, 10)  # window [20, 30)
+        assert third.offers_accepted == 3
+
+    def test_lazy_arrival_consumption(self):
+        # run_stream must pull arrivals one at a time, not drain the
+        # iterator up front.
+        pulled = []
+
+        def arrivals():
+            for i in range(5):
+                pulled.append(i)
+                yield float(i), _offer(10 + i, tf=6)
+
+        service = BrpRuntimeService(TINY)
+        iterator = arrivals()
+        service.queue.schedule_at(0.5, lambda: pulled.append("mid"))
+
+        # Prime the stream but stop the clock after the first arrival: only
+        # the consumed prefix may have been pulled.
+        report = service.run_stream(iterator, 2.5)
+        assert report.offers_accepted == 3  # t=0, 1, 2 inside the window
+        assert pulled[0] == 0
+        assert "mid" in pulled
+        # The generator was never drained past the first out-of-window item.
+        assert pulled.index("mid") < len(pulled) - 1
+
+
+class TestConfigValidation:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ServiceError):
+            RuntimeConfig(batch_size=0)
+        with pytest.raises(ServiceError):
+            RuntimeConfig(horizon_slices=-1)
+        with pytest.raises(ServiceError):
+            RuntimeConfig(scheduler_passes=0)
+        with pytest.raises(ServiceError):
+            RuntimeConfig(expiry_sweep_interval=0)
+
+
+class TestNetForecastWindow:
+    def test_provided_forecast_is_windowed(self):
+        from repro.core.timeseries import TimeSeries
+
+        series = TimeSeries(0, np.arange(200, dtype=float))
+        service = BrpRuntimeService(TINY, net_forecast=series)
+        window = service._net_forecast_window(10, 106)
+        assert window.start == 10
+        assert window.values[0] == 10.0
+        # Beyond the provided series the forecast falls back to zero.
+        window = service._net_forecast_window(150, 246)
+        assert window.values[49] == 199.0
+        assert window.values[50] == 0.0

@@ -195,6 +195,36 @@ class TestGreedy:
         costs = [c for _, c in result.trace]
         assert costs == sorted(costs, reverse=True)
 
+    def test_warm_start_never_worse_than_seed(self):
+        rng = np.random.default_rng(6)
+        offers = [
+            flex_offer([(1.0, 2.0)] * 2, earliest_start=0, latest_start=40)
+            for _ in range(8)
+        ]
+        problem = surplus_problem(offers)
+        warm = problem.minimum_solution()
+        warm_cost = problem.cost(warm)
+        result = RandomizedGreedyScheduler().schedule(
+            problem, max_passes=3, rng=rng, warm_start=warm
+        )
+        assert result.cost <= warm_cost + 1e-9
+        # The warm candidate counts as one evaluation.
+        assert result.evaluations == 3
+
+    def test_warm_start_survives_zero_extra_passes(self):
+        rng = np.random.default_rng(7)
+        offers = [
+            flex_offer([(1.0, 2.0)], earliest_start=0, latest_start=10)
+            for _ in range(3)
+        ]
+        problem = flat_problem(offers)
+        warm = problem.minimum_solution()
+        result = RandomizedGreedyScheduler().schedule(
+            problem, max_passes=1, rng=rng, warm_start=warm
+        )
+        assert result.evaluations == 1
+        assert result.cost == pytest.approx(problem.cost(warm))
+
 
 class TestEvolutionary:
     def test_improves_over_random_start(self):
