@@ -4,19 +4,40 @@ Paper claims to reproduce: both metaheuristics drive the cost down over
 time; greedy search is strong almost immediately while the EA needs time;
 convergence slows considerably as the number of aggregated flex-offers grows
 (1000 is still efficiently solvable; beyond that, aggregate harder first).
+
+This module also carries the scheduling perf trajectory: the vectorized
+:class:`~repro.scheduling.engine.CostEngine` greedy kernel is timed against
+the scalar :mod:`~repro.scheduling.reference` baseline on the same workload
+and both rates land in ``BENCH_scheduling.json`` (run with ``--json``), so
+the speedup is a recorded number rather than a one-off claim.
 """
 
-import os
+import time
 
+import numpy as np
+
+from conftest import smoke_mode
 from repro.experiments import run_fig6, scale_factor
+from repro.experiments.fig6 import intraday_scenario
+from repro.experiments.reporting import print_table
+from repro.scheduling import RandomizedGreedyScheduler
+from repro.scheduling.reference import reference_one_pass
+
+MIN_KERNEL_SPEEDUP = 5.0
+"""Vectorized greedy passes/sec must beat the scalar baseline by this factor
+(asserted at full size; the smoke run only checks the harness plumbing)."""
 
 
-def test_fig6_scheduling_convergence(once):
-    sizes = [10, 100, 1000]
-    budgets = {10: 1.0, 100: 2.0, 1000: 6.0}
-    if scale_factor() >= 4:  # the paper's largest instance, 15 min there
-        sizes.append(10_000)
-        budgets[10_000] = 30.0
+def test_fig6_scheduling_convergence(once, bench_record):
+    if smoke_mode():
+        sizes = [10]
+        budgets = {10: 0.2}
+    else:
+        sizes = [10, 100, 1000]
+        budgets = {10: 1.0, 100: 2.0, 1000: 6.0}
+        if scale_factor() >= 4:  # the paper's largest instance, 15 min there
+            sizes.append(10_000)
+            budgets[10_000] = 30.0
     result = once(run_fig6, sizes=sizes, budgets=budgets, repetitions=2)
 
     greedy = "greedy-search"
@@ -27,6 +48,22 @@ def test_fig6_scheduling_convergence(once):
             assert curve, f"no improvements recorded for {algorithm}@{size}"
             costs = [c for _, c in curve]
             assert costs[-1] <= costs[0]  # anytime improvement
+            bench_record(
+                "scheduling",
+                name=f"fig6_{algorithm}",
+                workload={"offers": size, "budget_seconds": budgets[size]},
+                metrics={
+                    "cost_at_quarter_budget": result.cost_at(
+                        size, algorithm, 0.25
+                    ),
+                    "cost_at_half_budget": result.cost_at(size, algorithm, 0.5),
+                    "cost_at_budget": result.final_costs[(size, algorithm)],
+                    "improvements_recorded": len(curve),
+                },
+            )
+
+    if smoke_mode():
+        return
 
     # the EA's relative disadvantage grows with problem size: convergence
     # slows down, so at the fixed budget the gap to greedy widens
@@ -36,3 +73,62 @@ def test_fig6_scheduling_convergence(once):
         return (e - g) / max(abs(g), 1e-9)
 
     assert gap(1000) >= gap(10) - 0.01
+
+
+def test_greedy_kernel_speedup_vs_reference(once, bench_record):
+    """Batched placement kernel vs the scalar baseline, same workload.
+
+    Both run complete greedy passes on the Figure-6 intraday scenario; the
+    recorded passes/sec pair is the before/after trajectory this repo's
+    perf work is judged against.
+    """
+    sizes = [10] if smoke_mode() else [10, 100, 1000]
+    seconds = 0.1 if smoke_mode() else 1.5
+    scheduler = RandomizedGreedyScheduler()
+
+    def passes_per_second(fn, problem) -> float:
+        fn(problem, np.random.default_rng(0))  # warm engine caches
+        t0 = time.perf_counter()
+        count = 0
+        while time.perf_counter() - t0 < seconds:
+            fn(problem, np.random.default_rng(count))
+            count += 1
+        return count / (time.perf_counter() - t0)
+
+    def run_all():
+        rows = []
+        for size in sizes:
+            problem = intraday_scenario(size, seed=0)
+            baseline = passes_per_second(reference_one_pass, problem)
+            vectorized = passes_per_second(
+                lambda p, rng: scheduler._one_pass(p, rng), problem
+            )
+            rows.append((size, baseline, vectorized))
+        return rows
+
+    rows = once(run_all)
+    print_table(
+        "greedy kernel: scalar baseline vs vectorized engine (passes/sec)",
+        ["offers", "baseline/s", "vectorized/s", "speedup"],
+        [
+            [size, f"{base:.2f}", f"{fast:.2f}", f"{fast / base:.1f}x"]
+            for size, base, fast in rows
+        ],
+    )
+    for size, baseline, vectorized in rows:
+        bench_record(
+            "scheduling",
+            name="greedy_kernel",
+            workload={"offers": size, "timebox_seconds": seconds},
+            metrics={
+                "baseline_passes_per_sec": baseline,
+                "vectorized_passes_per_sec": vectorized,
+                "speedup": vectorized / baseline,
+            },
+        )
+    if not smoke_mode():
+        for size, baseline, vectorized in rows:
+            assert vectorized / baseline >= MIN_KERNEL_SPEEDUP, (
+                f"kernel speedup regressed at {size} offers: "
+                f"{vectorized / baseline:.1f}x < {MIN_KERNEL_SPEEDUP}x"
+            )

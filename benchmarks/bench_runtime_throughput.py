@@ -15,6 +15,7 @@ Scale with ``REPRO_SCALE`` (multiplies the arrival rates and stream length).
 
 import time
 
+from conftest import smoke_mode
 from repro.aggregation import AggregationParameters, AggregationPipeline
 from repro.aggregation.pipeline import aggregate_from_scratch
 from repro.experiments import scale_factor
@@ -34,6 +35,10 @@ DURATION_SLICES = 192.0  # two simulated days per rate
 SEED = 42
 
 
+def _duration_slices() -> float:
+    return 24.0 if smoke_mode() else DURATION_SLICES
+
+
 def _config() -> RuntimeConfig:
     return RuntimeConfig(
         batch_size=64,
@@ -50,15 +55,18 @@ def _config() -> RuntimeConfig:
 def _run_rate(rate: float):
     service = BrpRuntimeService(_config())
     generator = LoadGenerator(rate_per_hour=rate, seed=SEED)
-    report = service.run_stream(
-        generator.stream(0.0, DURATION_SLICES), DURATION_SLICES
-    )
+    duration = _duration_slices()
+    report = service.run_stream(generator.stream(0.0, duration), duration)
     return report
 
 
-def test_runtime_throughput_vs_rate(once):
+def test_runtime_throughput_vs_rate(once, bench_record):
     scale = scale_factor()
-    rates = [r * scale for r in RATES_PER_HOUR]
+    rates = (
+        [RATES_PER_HOUR[0]]
+        if smoke_mode()
+        else [r * scale for r in RATES_PER_HOUR]
+    )
 
     def run_all():
         return [(rate, _run_rate(rate)) for rate in rates]
@@ -94,17 +102,35 @@ def test_runtime_throughput_vs_rate(once):
     )
 
     for rate, report in results:
+        bench_record(
+            "runtime",
+            name="throughput_vs_rate",
+            workload={
+                "rate_per_hour": rate,
+                "duration_slices": _duration_slices(),
+            },
+            metrics={
+                "offers_accepted": report.offers_accepted,
+                "offers_per_sec": report.offers_per_second,
+                "latency_slices_p50": report.latency_slices_p50,
+                "latency_slices_p95": report.latency_slices_p95,
+                "latency_wall_p50_ms": report.latency_wall_p50 * 1e3,
+                "latency_wall_p95_ms": report.latency_wall_p95 * 1e3,
+                "scheduling_runs": report.scheduling_runs,
+                "aggregation_runs": report.aggregation_runs,
+            },
+        )
         assert report.offers_accepted > 0
         assert report.offers_scheduled > 0
         # The age trigger bounds how long the p95 offer waits relative to
         # the stream length.
-        assert report.latency_slices_p95 < DURATION_SLICES / 2
+        assert report.latency_slices_p95 < _duration_slices() / 2
     # More traffic must not be silently dropped: accepted counts scale.
     accepted = [report.offers_accepted for _, report in results]
     assert accepted == sorted(accepted)
 
 
-def test_incremental_beats_rebuild_on_sustained_stream(once):
+def test_incremental_beats_rebuild_on_sustained_stream(once, bench_record):
     """Maintain aggregates over a stream: incremental vs from-scratch.
 
     Both paths consume the identical offer stream in identical batches; the
@@ -116,8 +142,9 @@ def test_incremental_beats_rebuild_on_sustained_stream(once):
     parameters = AggregationParameters(
         start_after_tolerance=8, time_flexibility_tolerance=8, name="bench"
     )
-    generator = LoadGenerator(rate_per_hour=200.0 * scale, seed=SEED)
-    offers = generator.offers(0.0, 96.0)
+    rate = 50.0 if smoke_mode() else 200.0 * scale
+    generator = LoadGenerator(rate_per_hour=rate, seed=SEED)
+    offers = generator.offers(0.0, 24.0 if smoke_mode() else 96.0)
     batch_size = 64
     batches = [
         offers[i : i + batch_size] for i in range(0, len(offers), batch_size)
@@ -156,7 +183,19 @@ def test_incremental_beats_rebuild_on_sustained_stream(once):
         ],
     )
 
+    bench_record(
+        "runtime",
+        name="incremental_vs_rebuild",
+        workload={"offers": len(offers), "batches": len(batches)},
+        metrics={
+            "incremental_seconds": inc_time,
+            "rebuild_seconds": reb_time,
+            "speedup": reb_time / max(inc_time, 1e-9),
+        },
+    )
     # Same final aggregate population either way...
     assert inc_count == reb_count
-    # ...but the incremental path must win on a sustained stream.
-    assert inc_time < reb_time
+    # ...but the incremental path must win on a sustained stream (skipped
+    # in smoke mode: tiny workloads make the timing comparison noise).
+    if not smoke_mode():
+        assert inc_time < reb_time

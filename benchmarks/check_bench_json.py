@@ -1,0 +1,88 @@
+"""Validate the schema of emitted BENCH_*.json trajectory files.
+
+Usage: ``python benchmarks/check_bench_json.py DIR [expected_kind ...]``
+
+Checks structure only — never timing thresholds — so the CI smoke job can
+assert the harness works without becoming a flaky performance gate.  Exits
+non-zero (with a message per problem) when a file is malformed or an
+expected kind is missing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REQUIRED_TOP_LEVEL = ("kind", "schema_version", "scale", "smoke", "records")
+REQUIRED_RECORD = ("test", "name", "workload", "metrics")
+
+
+def check_file(path: pathlib.Path) -> tuple[list[str], str | None]:
+    """Validate one file; returns (problems, kind or None)."""
+    problems: list[str] = []
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON ({exc})"], None
+    if not isinstance(payload, dict):
+        return [f"{path}: top level must be a JSON object"], None
+    for key in REQUIRED_TOP_LEVEL:
+        if key not in payload:
+            problems.append(f"{path}: missing top-level key {key!r}")
+    if f"BENCH_{payload.get('kind')}.json" != path.name:
+        problems.append(f"{path}: kind {payload.get('kind')!r} mismatches filename")
+    records = payload.get("records", [])
+    if not isinstance(records, list) or not records:
+        problems.append(f"{path}: records must be a non-empty list")
+        records = []
+    for i, record in enumerate(records):
+        for key in REQUIRED_RECORD:
+            if key not in record:
+                problems.append(f"{path}: records[{i}] missing key {key!r}")
+        metrics = record.get("metrics")
+        if isinstance(metrics, dict):
+            bad = [
+                k
+                for k, v in metrics.items()
+                if v is not None
+                and (not isinstance(v, (int, float)) or isinstance(v, bool))
+            ]
+            if bad:
+                problems.append(
+                    f"{path}: records[{i}] non-numeric metrics {bad!r}"
+                )
+        else:
+            problems.append(f"{path}: records[{i}] metrics must be a dict")
+    return problems, payload.get("kind")
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    directory = pathlib.Path(argv[0])
+    expected_kinds = set(argv[1:])
+    files = sorted(directory.glob("BENCH_*.json"))
+    if not files:
+        print(f"no BENCH_*.json files found in {directory}")
+        return 1
+    problems: list[str] = []
+    seen_kinds: set[str] = set()
+    for path in files:
+        file_problems, kind = check_file(path)
+        problems.extend(file_problems)
+        if kind is not None:
+            seen_kinds.add(kind)
+    for kind in sorted(expected_kinds - seen_kinds):
+        problems.append(f"{directory}: expected kind {kind!r} was not emitted")
+    for problem in problems:
+        print(problem)
+    if not problems:
+        names = ", ".join(p.name for p in files)
+        print(f"ok: {names} ({len(files)} file(s)) pass schema checks")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

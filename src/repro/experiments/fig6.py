@@ -86,21 +86,24 @@ class Fig6Result:
     )
     final_costs: dict[tuple[int, str], float] = field(default_factory=dict)
 
+    def cost_at(self, size: int, algorithm: str, fraction: float) -> float:
+        """Best cost reached within ``fraction`` of the size's budget."""
+        t = self.budgets[size] * fraction
+        best = float("inf")
+        for elapsed, cost in self.curves.get((size, algorithm), []):
+            if elapsed > t:
+                break
+            best = cost
+        return best
+
     def rows(self) -> list[list]:
         out = []
         for size in self.sizes:
             budget = self.budgets[size]
             for fraction in (0.25, 0.5, 1.0):
-                t = budget * fraction
-                row: list = [size, t]
+                row: list = [size, budget * fraction]
                 for algorithm in ("greedy-search", "evolutionary-algorithm"):
-                    curve = self.curves.get((size, algorithm), [])
-                    best = float("inf")
-                    for elapsed, cost in curve:
-                        if elapsed > t:
-                            break
-                        best = cost
-                    row.append(best)
+                    row.append(self.cost_at(size, algorithm, fraction))
                 out.append(row)
         return out
 

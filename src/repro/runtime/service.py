@@ -7,7 +7,10 @@ maintains the aggregate pool *incrementally* through the existing
 :class:`~repro.aggregation.pipeline.AggregationPipeline`, and re-runs
 scheduling when a :mod:`~repro.runtime.triggers` policy fires — warm-starting
 the greedy scheduler from the previous plan so sustained streams pay only for
-what changed.
+what changed.  Each re-planning run prices placements through the batched
+:class:`~repro.scheduling.engine.CostEngine` kernel (and greedy passes report
+their own cost), so trigger latency is dominated by the stream, not by
+re-deriving schedule costs.
 
 Lifecycle states flow through the :class:`~repro.datamgmt.mirabel.LedmsStore`
 (``submitted → accepted → aggregated → scheduled → executed/expired``), and a
@@ -21,6 +24,7 @@ import heapq
 import math
 import time
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Iterable
 
 import numpy as np
@@ -55,6 +59,18 @@ from .triggers import (
 )
 
 __all__ = ["RuntimeConfig", "RuntimeReport", "BrpRuntimeService"]
+
+
+@lru_cache(maxsize=8)
+def _flat_market(length: int, buy_price: float, sell_price: float) -> Market:
+    """Shared flat market per horizon length.
+
+    Every re-planning run prices the same rolling horizon; `Market` is
+    frozen and nothing mutates its arrays, so the instance (and the price
+    arrays the scheduling engine reads) can be reused across runs instead
+    of being rebuilt on each trigger fire.
+    """
+    return Market.flat(length, buy_price=buy_price, sell_price=sell_price)
 
 
 def _default_trigger() -> TriggerPolicy:
@@ -372,10 +388,8 @@ class BrpRuntimeService:
         problem = SchedulingProblem(
             net_forecast=self._net_forecast_window(start, end),
             offers=tuple(aggregate for _, aggregate in eligible),
-            market=Market.flat(
-                end - start,
-                buy_price=self.config.buy_price,
-                sell_price=self.config.sell_price,
+            market=_flat_market(
+                end - start, self.config.buy_price, self.config.sell_price
             ),
             shortage_penalty=np.array(self.config.shortage_penalty),
             surplus_penalty=np.array(self.config.surplus_penalty),

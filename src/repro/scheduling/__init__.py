@@ -10,6 +10,7 @@ Public API::
     )
 """
 
+from .engine import CostEngine, IncrementalCostState, OfferConstants
 from .evolutionary import EvolutionaryScheduler
 from .exhaustive import ExhaustiveScheduler, count_start_combinations
 from .greedy import RandomizedGreedyScheduler
@@ -18,6 +19,9 @@ from .problem import CandidateSolution, ScheduleEvaluation, SchedulingProblem
 from .result import CostTracker, SchedulingResult
 
 __all__ = [
+    "CostEngine",
+    "IncrementalCostState",
+    "OfferConstants",
     "EvolutionaryScheduler",
     "ExhaustiveScheduler",
     "count_start_combinations",

@@ -1,0 +1,434 @@
+"""Vectorized scheduling cost engine (paper §6 hot path).
+
+Given fixed flex-offer placements the optimal market action is closed-form
+per slice, so the slice cost of a residual imbalance ``r`` is a convex
+piecewise-linear function of ``r`` whose kinks depend only on the problem's
+prices, penalties and volume limits:
+
+* shortage ``s = max(r, 0)`` pays the *effective shortage price*
+  (``buy_price`` where buying beats the penalty, the penalty otherwise) up
+  to the buy volume limit, and the shortage penalty beyond it;
+* surplus ``u = max(-r, 0)`` pays the *effective surplus price*
+  (``-sell_price`` where selling beats the penalty, i.e. revenue) up to the
+  sell volume limit, and the surplus penalty beyond it.
+
+:class:`CostEngine` precomputes those four marginal-price arrays (plus the
+effective caps) once per :class:`~repro.scheduling.problem.SchedulingProblem`
+so evaluating a residual window needs no :meth:`settle_market` temporaries —
+and, crucially, broadcasts over arbitrary leading axes.  That enables the
+batched placement kernel :meth:`CostEngine.best_placement`, which scores
+**all admissible start positions × all four per-slice energy candidates of
+one offer in a single vectorized operation** over a strided window view of
+the residual, replacing the per-start Python loop the solvers used to run.
+
+:class:`IncrementalCostState` maintains the residual and the running
+schedule cost across placements so a greedy pass (and the evolutionary /
+exhaustive schedulers' moves) pays only for touched windows instead of
+re-deriving the full-horizon cost after every change.
+
+The engine is numerically equivalent to the settlement-derived
+:meth:`SchedulingProblem.settled_slice_costs` oracle (property-tested in
+``tests/test_scheduling_engine.py``); the scalar pre-vectorization kernel is
+kept in :mod:`repro.scheduling.reference` as the oracle and benchmark
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..core.flexoffer import FlexOffer
+    from .problem import SchedulingProblem
+
+__all__ = ["OfferConstants", "PackedOffers", "CostEngine", "IncrementalCostState"]
+
+
+@dataclass(frozen=True)
+class OfferConstants:
+    """Per-offer arrays and bounds cached once per problem.
+
+    Solvers used to re-materialize ``min_energies``/``max_energies`` tuples
+    (and re-read ``unit_price`` and the admissible start range) from the
+    profile inside every greedy pass, every mutation and every
+    ``flexoffer_cost`` call; these are immutable per problem, so they are
+    built exactly once (see ``SchedulingProblem.offer_constants``).
+    """
+
+    lo: np.ndarray
+    """Per-slice minimum energies (kWh), shape ``(duration,)``."""
+    hi: np.ndarray
+    """Per-slice maximum energies (kWh), shape ``(duration,)``."""
+    zero: np.ndarray
+    """``clip(0, lo, hi)`` — the do-least candidate, shape ``(duration,)``."""
+    unit_price: float
+    duration: int
+    earliest_start: int
+    latest_start: int
+    earliest_index: int
+    """``earliest_start`` relative to the horizon start."""
+    n_starts: int
+    """Number of admissible start slices (``time_flexibility + 1``)."""
+
+    @classmethod
+    def from_offer(cls, offer: "FlexOffer", horizon_start: int) -> "OfferConstants":
+        lo = np.asarray(offer.profile.min_energies(), dtype=float)
+        hi = np.asarray(offer.profile.max_energies(), dtype=float)
+        return cls(
+            lo=lo,
+            hi=hi,
+            zero=np.clip(0.0, lo, hi),
+            unit_price=float(offer.unit_price),
+            duration=offer.duration,
+            earliest_start=offer.earliest_start,
+            latest_start=offer.latest_start,
+            earliest_index=offer.earliest_start - horizon_start,
+            n_starts=offer.time_flexibility + 1,
+        )
+
+    def flex_cost(self, energies: np.ndarray) -> float:
+        """Compensation paid for one placement of this offer (EUR)."""
+        return self.unit_price * float(np.abs(energies).sum())
+
+
+class PackedOffers:
+    """All offers' constants concatenated into flat arrays (built once).
+
+    The evolutionary scheduler represents a genome as ``(starts, packed)``
+    where ``packed`` holds every offer's per-slice energies back to back;
+    with these companion arrays, crossover, mutation, the residual rebuild
+    and the compensation sum are all single vectorized operations over the
+    whole genome instead of per-offer Python loops.
+    """
+
+    __slots__ = (
+        "count",
+        "total",
+        "durations",
+        "offsets",
+        "within",
+        "lo",
+        "hi",
+        "unit_price",
+        "earliest",
+        "latest",
+        "horizon_start",
+        "horizon_length",
+    )
+
+    def __init__(
+        self,
+        consts: tuple[OfferConstants, ...],
+        horizon_start: int,
+        horizon_length: int,
+    ) -> None:
+        self.count = len(consts)
+        self.durations = np.array([c.duration for c in consts], dtype=np.int64)
+        self.total = int(self.durations.sum())
+        self.offsets = np.zeros(self.count + 1, dtype=np.int64)
+        np.cumsum(self.durations, out=self.offsets[1:])
+        # within[s] = position of packed slice s inside its own offer
+        self.within = np.arange(self.total, dtype=np.int64) - np.repeat(
+            self.offsets[:-1], self.durations
+        )
+        self.lo = (
+            np.concatenate([c.lo for c in consts])
+            if consts
+            else np.zeros(0)
+        )
+        self.hi = (
+            np.concatenate([c.hi for c in consts])
+            if consts
+            else np.zeros(0)
+        )
+        self.unit_price = np.repeat(
+            np.array([c.unit_price for c in consts], dtype=float), self.durations
+        )
+        self.earliest = np.array([c.earliest_start for c in consts], dtype=np.int64)
+        self.latest = np.array([c.latest_start for c in consts], dtype=np.int64)
+        self.horizon_start = horizon_start
+        self.horizon_length = horizon_length
+
+    # ------------------------------------------------------------------
+    def pack(self, energies: list[np.ndarray]) -> np.ndarray:
+        """Concatenate per-offer energy arrays into one flat genome array."""
+        return (
+            np.concatenate(energies) if energies else np.zeros(0)
+        )
+
+    def split(self, packed: np.ndarray) -> list[np.ndarray]:
+        """Per-offer energy copies out of a flat genome array."""
+        return [
+            packed[self.offsets[j] : self.offsets[j + 1]].copy()
+            for j in range(self.count)
+        ]
+
+    def flex_series(self, starts: np.ndarray, packed: np.ndarray) -> np.ndarray:
+        """Net flex energy per horizon slice — one ``bincount``, no loop."""
+        indices = (
+            np.repeat(starts - self.horizon_start, self.durations) + self.within
+        )
+        return np.bincount(
+            indices, weights=packed, minlength=self.horizon_length
+        )
+
+    def flex_cost(self, packed: np.ndarray) -> float:
+        """Total compensation (EUR) of a flat genome."""
+        return float((self.unit_price * np.abs(packed)).sum())
+
+    def random_starts(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniform start per offer within its admissible window."""
+        return rng.integers(self.earliest, self.latest + 1, dtype=np.int64)
+
+    def random_packed(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniform per-slice energies within bounds, already packed."""
+        return self.lo + rng.random(self.total) * (self.hi - self.lo)
+
+    def slice_indices(self, members: np.ndarray) -> np.ndarray:
+        """Packed-array indices covered by the given offer indices.
+
+        Vectorized concatenation of ``arange(offsets[j], offsets[j+1])`` for
+        every ``j`` in ``members`` (order preserved, standard cumsum trick).
+        """
+        lengths = self.durations[members]
+        if not len(lengths):
+            return np.zeros(0, dtype=np.int64)
+        return np.repeat(self.offsets[members], lengths) + (
+            np.arange(int(lengths.sum()), dtype=np.int64)
+            - np.repeat(np.cumsum(lengths) - lengths, lengths)
+        )
+
+
+class CostEngine:
+    """Closed-form piecewise-linear slice costs for one scheduling problem.
+
+    Where trading is never optimal the effective cap is ``+inf`` and the
+    effective price equals the penalty, so every branch of the original
+    settlement collapses into one expression — bit-for-bit equal to the
+    settlement-derived oracle in every branch.
+    """
+
+    __slots__ = (
+        "horizon_length",
+        "shortage_price",
+        "shortage_cap",
+        "shortage_penalty",
+        "surplus_price",
+        "surplus_cap",
+        "surplus_penalty",
+    )
+
+    def __init__(self, problem: "SchedulingProblem") -> None:
+        market = problem.market
+        h = problem.horizon_length
+        inf = np.full(h, np.inf)
+        max_buy = inf if market.max_buy is None else market.max_buy
+        max_sell = inf if market.max_sell is None else market.max_sell
+
+        buying = market.buy_price < problem.shortage_penalty
+        selling = market.sell_price > -problem.surplus_penalty
+
+        self.horizon_length = h
+        self.shortage_price = np.where(
+            buying, market.buy_price, problem.shortage_penalty
+        )
+        self.shortage_cap = np.where(buying, max_buy, np.inf)
+        self.shortage_penalty = problem.shortage_penalty
+        self.surplus_price = np.where(
+            selling, -market.sell_price, problem.surplus_penalty
+        )
+        self.surplus_cap = np.where(selling, max_sell, np.inf)
+        self.surplus_penalty = problem.surplus_penalty
+
+    # ------------------------------------------------------------------
+    def slice_costs(self, residual: np.ndarray, offset: int = 0) -> np.ndarray:
+        """EUR cost per slice of a residual window after market settlement.
+
+        ``residual`` may carry arbitrary leading axes (the batched kernel
+        passes ``(candidates, starts, duration)`` stacks); the trailing axis
+        is positioned within the horizon by ``offset``.
+        """
+        residual = np.asarray(residual, dtype=float)
+        window = slice(offset, offset + residual.shape[-1])
+        shortage = np.maximum(residual, 0.0)
+        surplus = np.maximum(-residual, 0.0)
+        covered = np.minimum(shortage, self.shortage_cap[window])
+        sold = np.minimum(surplus, self.surplus_cap[window])
+        return (
+            covered * self.shortage_price[window]
+            + (shortage - covered) * self.shortage_penalty[window]
+            + sold * self.surplus_price[window]
+            + (surplus - sold) * self.surplus_penalty[window]
+        )
+
+    def total_cost(self, residual: np.ndarray) -> float:
+        """Full-horizon slice-cost total of a residual (EUR)."""
+        return float(self.slice_costs(residual).sum())
+
+    # ------------------------------------------------------------------
+    def best_placement(
+        self,
+        consts: OfferConstants,
+        residual: np.ndarray,
+        cost_vector: np.ndarray | None = None,
+    ) -> tuple[int, np.ndarray, float]:
+        """Best start and per-slice energies for one offer, fully batched.
+
+        Evaluates every admissible start position against all four per-slice
+        energy candidates (bounds, imbalance-nulling, zero — the kinks of
+        the piecewise-linear slice cost) in one vectorized operation.  The
+        key identity: the delta of applying profile slice ``t`` at horizon
+        slice ``i`` depends only on ``(i, t)``, never on the start itself —
+        so deltas are priced once on a ``(span, duration)`` table and the
+        per-start totals fall out as strided diagonal sums, instead of
+        re-pricing ``n_starts`` overlapping windows.
+
+        ``cost_vector`` is the per-slice cost of the current residual when
+        the caller (an :class:`IncrementalCostState`) already maintains it;
+        otherwise the touched span is priced here.
+
+        Returns ``(start_index, energies, cost_delta)`` where
+        ``start_index`` is relative to the offer's earliest start and
+        ``cost_delta`` includes the offer's compensation term.
+        Tie-breaking matches the scalar reference kernel exactly: earlier
+        candidates and earlier starts win ties, so solutions are
+        bit-for-bit identical to the pre-vectorization solver.
+        """
+        d = consts.duration
+        n = consts.n_starts
+        m = n + d - 1  # horizon slices any admissible placement can touch
+        span = slice(consts.earliest_index, consts.earliest_index + m)
+        segment = residual[span]  # (m,)
+        if cost_vector is None:
+            before = self.slice_costs(segment, consts.earliest_index)
+        else:
+            before = cost_vector[span]
+
+        candidates = np.empty((4, m, d))
+        candidates[0] = consts.lo
+        candidates[1] = consts.hi
+        np.clip(-segment[:, None], consts.lo, consts.hi, out=candidates[2])
+        candidates[3] = consts.zero
+
+        shifted = segment[None, :, None] + candidates  # (4, m, d)
+        column = (slice(None), None)  # (m,) params -> (m, 1) columns
+        shortage = np.maximum(shifted, 0.0)
+        surplus = np.maximum(-shifted, 0.0)
+        covered = np.minimum(shortage, self.shortage_cap[span][column])
+        sold = np.minimum(surplus, self.surplus_cap[span][column])
+        delta = (
+            covered * self.shortage_price[span][column]
+            + (shortage - covered) * self.shortage_penalty[span][column]
+            + sold * self.surplus_price[span][column]
+            + (surplus - sold) * self.surplus_penalty[span][column]
+        )
+        delta -= before[column]
+        if consts.unit_price:
+            delta += consts.unit_price * np.abs(candidates)
+
+        best = delta.min(axis=0)  # (m, d), min keeps earlier-candidate ties
+        # totals[k] = sum_t best[k + t, t]: the (n, d) diagonal-band view of
+        # the contiguous (m, d) table, summed per start.
+        stride_row, stride_col = best.strides
+        diagonals = np.lib.stride_tricks.as_strided(
+            best, shape=(n, d), strides=(stride_row, stride_row + stride_col),
+            writeable=False,
+        )
+        totals = diagonals.sum(axis=1)  # (n,)
+        start_index = int(np.argmin(totals))  # first min = earlier start
+
+        rows = start_index + np.arange(d)
+        cols = np.arange(d)
+        choice = np.argmin(delta[:, rows, cols], axis=0)  # first = earlier cand
+        energies = candidates[choice, rows, cols].copy()
+        return start_index, energies, float(totals[start_index])
+
+
+class IncrementalCostState:
+    """Residual, per-slice cost vector and running total across placements.
+
+    ``total`` starts at the slice-cost of the initial residual and is then
+    advanced by whatever deltas the caller feeds it: the greedy pass feeds
+    the batched kernel's deltas (which include compensation terms), the
+    evolutionary and exhaustive schedulers take pure slice-cost deltas from
+    :meth:`replace` and keep compensation separately.  Either way only the
+    touched windows are ever re-priced, and the maintained ``cost_vector``
+    hands the kernel its "before" costs for free.
+    """
+
+    __slots__ = ("engine", "residual", "cost_vector", "total")
+
+    def __init__(
+        self,
+        engine: CostEngine,
+        residual: np.ndarray,
+        cost_vector: np.ndarray | None = None,
+        total: float | None = None,
+    ) -> None:
+        self.engine = engine
+        self.residual = residual
+        self.cost_vector = (
+            engine.slice_costs(residual) if cost_vector is None else cost_vector
+        )
+        self.total = float(self.cost_vector.sum()) if total is None else total
+
+    @classmethod
+    def for_problem(cls, problem: "SchedulingProblem") -> "IncrementalCostState":
+        """Fresh state over the problem's net forecast (no offers placed)."""
+        return cls(problem.engine, problem.net_forecast.values.copy())
+
+    def copy(self) -> "IncrementalCostState":
+        return IncrementalCostState(
+            self.engine, self.residual.copy(), self.cost_vector.copy(), self.total
+        )
+
+    # ------------------------------------------------------------------
+    def best_placement(self, consts: OfferConstants) -> tuple[int, np.ndarray, float]:
+        """The batched kernel against this state's residual and cost vector."""
+        return self.engine.best_placement(consts, self.residual, self.cost_vector)
+
+    def place(self, offset: int, energies: np.ndarray, cost_delta: float) -> None:
+        """Apply one placement whose cost delta is already known (kernel)."""
+        window = slice(offset, offset + len(energies))
+        self.residual[window] += energies
+        self.cost_vector[window] = self.engine.slice_costs(
+            self.residual[window], offset
+        )
+        self.total += cost_delta
+
+    def replace(
+        self,
+        old_offset: int,
+        old_energies: np.ndarray,
+        new_offset: int,
+        new_energies: np.ndarray,
+    ) -> float:
+        """Swap one offer's placement; re-prices only the touched windows.
+
+        Returns the slice-cost delta (compensation terms are the caller's,
+        since they do not depend on the residual).
+        """
+        lo = min(old_offset, new_offset)
+        hi = max(old_offset + len(old_energies), new_offset + len(new_energies))
+        window = slice(lo, hi)
+        before = float(self.cost_vector[window].sum())
+        self.residual[old_offset : old_offset + len(old_energies)] -= old_energies
+        self.residual[new_offset : new_offset + len(new_energies)] += new_energies
+        self.cost_vector[window] = self.engine.slice_costs(
+            self.residual[window], lo
+        )
+        delta = float(self.cost_vector[window].sum()) - before
+        self.total += delta
+        return delta
+
+    def resync(self) -> None:
+        """Re-price the whole horizon, zeroing accumulated fp drift.
+
+        Long enumerations (the exhaustive scheduler walks millions of
+        moves) call this periodically; a single greedy pass never needs it.
+        """
+        self.cost_vector = self.engine.slice_costs(self.residual)
+        self.total = float(self.cost_vector.sum())

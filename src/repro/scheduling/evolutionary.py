@@ -14,6 +14,15 @@ and one energy value per profile slice within its bounds.  Operators:
   Gaussian-perturb energies, clipped to the bounds;
 * elitism: the best individual always survives.
 
+Individuals are stored *packed*: one flat energy array per genome (see
+:class:`~repro.scheduling.engine.PackedOffers`), so crossover is two
+``np.where`` calls, mutation touches only the drawn offers through flat
+index arrays, and evaluating a child is one ``bincount`` residual rebuild
+plus one vectorized :class:`~repro.scheduling.engine.CostEngine` sweep —
+no per-offer Python loop anywhere in the generation loop.  Per-offer
+:class:`~repro.scheduling.problem.CandidateSolution` views are materialized
+only when the tracker records an improvement.
+
 ``seed_with_greedy_pass=True`` hybridises the EA with the randomized greedy
 search (one greedy pass joins the initial population) — the paper's
 "hybridizing the existing [algorithms]" research direction, evaluated in
@@ -24,10 +33,34 @@ from __future__ import annotations
 
 import numpy as np
 
+from .engine import PackedOffers
 from .problem import CandidateSolution, SchedulingProblem
 from .result import CostTracker, SchedulingResult
 
 __all__ = ["EvolutionaryScheduler"]
+
+
+class _PackedGenome:
+    """Starts plus one flat energy array; quacks like a recordable solution.
+
+    :meth:`copy` materializes a real :class:`CandidateSolution`, which is
+    all :class:`~repro.scheduling.result.CostTracker` needs — and it only
+    calls it on improvements, so the per-offer split stays off the hot path.
+    """
+
+    __slots__ = ("packing", "starts", "packed")
+
+    def __init__(
+        self, packing: PackedOffers, starts: np.ndarray, packed: np.ndarray
+    ):
+        self.packing = packing
+        self.starts = starts
+        self.packed = packed
+
+    def copy(self) -> CandidateSolution:
+        return CandidateSolution(
+            self.starts.copy(), self.packing.split(self.packed)
+        )
 
 
 class EvolutionaryScheduler:
@@ -70,17 +103,33 @@ class EvolutionaryScheduler:
         """Evolve placements until the time/evaluation budget expires."""
         rng = rng or np.random.default_rng()
         tracker = CostTracker(budget_seconds, max_evaluations)
+        packing = problem.packed_offers
+        net = problem.net_forecast.values
+
+        def evaluate(genome: _PackedGenome) -> float:
+            residual = net + packing.flex_series(genome.starts, genome.packed)
+            return problem.engine.total_cost(residual) + packing.flex_cost(
+                genome.packed
+            )
 
         population = [
-            problem.random_solution(rng) for _ in range(self.population_size)
+            _PackedGenome(
+                packing, packing.random_starts(rng), packing.random_packed(rng)
+            )
+            for _ in range(self.population_size)
         ]
         if self.seed_with_greedy_pass:
             from .greedy import RandomizedGreedyScheduler  # avoid module cycle
 
-            population[0] = RandomizedGreedyScheduler()._one_pass(problem, rng)
-        costs = np.array([problem.cost(s) for s in population])
-        for solution, cost in zip(population, costs):
-            tracker.record(cost, solution)
+            seed_solution, _ = RandomizedGreedyScheduler()._one_pass(problem, rng)
+            population[0] = _PackedGenome(
+                packing,
+                seed_solution.starts.copy(),
+                packing.pack(seed_solution.energies),
+            )
+        costs = np.array([evaluate(genome) for genome in population])
+        for genome, cost in zip(population, costs):
+            tracker.record(cost, genome)
 
         while not tracker.exhausted():
             elite = int(np.argmin(costs))
@@ -89,9 +138,9 @@ class EvolutionaryScheduler:
             while len(next_population) < self.population_size:
                 parent_a = self._tournament(population, costs, rng)
                 parent_b = self._tournament(population, costs, rng)
-                child = self._crossover(parent_a, parent_b, rng)
-                self._mutate(problem, child, rng)
-                cost = problem.cost(child)
+                child = self._crossover(packing, parent_a, parent_b, rng)
+                self._mutate(packing, child, rng)
+                cost = evaluate(child)
                 tracker.record(cost, child)
                 next_population.append(child)
                 next_costs.append(cost)
@@ -104,63 +153,68 @@ class EvolutionaryScheduler:
     # ------------------------------------------------------------------
     def _tournament(
         self,
-        population: list[CandidateSolution],
+        population: list[_PackedGenome],
         costs: np.ndarray,
         rng: np.random.Generator,
-    ) -> CandidateSolution:
+    ) -> _PackedGenome:
         contenders = rng.integers(0, len(population), self.tournament_size)
         winner = contenders[np.argmin(costs[contenders])]
         return population[int(winner)]
 
     def _crossover(
         self,
-        a: CandidateSolution,
-        b: CandidateSolution,
+        packing: PackedOffers,
+        a: _PackedGenome,
+        b: _PackedGenome,
         rng: np.random.Generator,
-    ) -> CandidateSolution:
+    ) -> _PackedGenome:
         if rng.random() > self.crossover_rate:
-            return a.copy()
-        take_from_a = rng.random(len(a.starts)) < 0.5
+            return _PackedGenome(packing, a.starts.copy(), a.packed.copy())
+        take_from_a = rng.random(packing.count) < 0.5
         starts = np.where(take_from_a, a.starts, b.starts)
-        energies = [
-            (a.energies[j] if take_from_a[j] else b.energies[j]).copy()
-            for j in range(len(a.starts))
-        ]
-        return CandidateSolution(starts, energies)
+        packed = np.where(
+            np.repeat(take_from_a, packing.durations), a.packed, b.packed
+        )
+        return _PackedGenome(packing, starts, packed)
 
     def _mutate(
         self,
-        problem: SchedulingProblem,
-        solution: CandidateSolution,
+        packing: PackedOffers,
+        genome: _PackedGenome,
         rng: np.random.Generator,
     ) -> None:
-        for j, offer in enumerate(problem.offers):
-            if rng.random() >= self.mutation_rate:
-                continue
-            if offer.time_flexibility > 0:
-                if rng.random() < 0.5:  # local shift
-                    shift = int(rng.integers(-self.start_shift, self.start_shift + 1))
-                    solution.starts[j] = int(
-                        np.clip(
-                            solution.starts[j] + shift,
-                            offer.earliest_start,
-                            offer.latest_start,
-                        )
-                    )
-                else:  # global re-draw
-                    solution.starts[j] = int(
-                        rng.integers(offer.earliest_start, offer.latest_start + 1)
-                    )
-            lo = np.asarray(offer.profile.min_energies())
-            hi = np.asarray(offer.profile.max_energies())
-            move = rng.random()
-            if move < 0.25:  # snap to a bound: optima are mostly bang-bang
-                solution.energies[j] = lo.copy()
-            elif move < 0.5:
-                solution.energies[j] = hi.copy()
-            else:  # Gaussian exploration of the energy range
-                span = hi - lo
-                jitter = rng.normal(0.0, self.energy_mutation_scale, len(span)) * span
-                solution.energies[j] = np.clip(
-                    solution.energies[j] + jitter, lo, hi
-                )
+        mutated = np.nonzero(rng.random(packing.count) < self.mutation_rate)[0]
+        if not len(mutated):
+            return
+
+        # Starts: offers with time flexibility take a local shift or a full
+        # re-draw, half/half.
+        earliest = packing.earliest[mutated]
+        latest = packing.latest[mutated]
+        local = rng.random(len(mutated)) < 0.5
+        shifted = np.clip(
+            genome.starts[mutated]
+            + rng.integers(-self.start_shift, self.start_shift + 1, len(mutated)),
+            earliest,
+            latest,
+        )
+        redrawn = rng.integers(earliest, latest + 1, dtype=np.int64)
+        genome.starts[mutated] = np.where(local, shifted, redrawn)
+
+        # Energies: snap to a bound (optima are mostly bang-bang) or
+        # Gaussian-explore the range, per offer, applied through the flat
+        # per-slice index arrays.
+        move = rng.random(len(mutated))
+        packed = genome.packed
+        for pick, apply in (
+            (move < 0.25, lambda idx: packing.lo[idx]),
+            ((move >= 0.25) & (move < 0.5), lambda idx: packing.hi[idx]),
+        ):
+            idx = packing.slice_indices(mutated[pick])
+            packed[idx] = apply(idx)
+        idx = packing.slice_indices(mutated[move >= 0.5])
+        span = packing.hi[idx] - packing.lo[idx]
+        jitter = rng.normal(0.0, self.energy_mutation_scale, len(idx)) * span
+        packed[idx] = np.clip(
+            packed[idx] + jitter, packing.lo[idx], packing.hi[idx]
+        )

@@ -16,6 +16,7 @@ from itertools import product
 import numpy as np
 
 from ..core.errors import SchedulingError
+from .engine import IncrementalCostState
 from .problem import CandidateSolution, SchedulingProblem
 from .result import CostTracker, SchedulingResult
 
@@ -64,11 +65,39 @@ class ExhaustiveScheduler:
                 )
 
         tracker = CostTracker(None, max(1, combinations))
-        energies = [np.asarray(o.profile.min_energies()) for o in problem.offers]
-        ranges = [range(o.earliest_start, o.latest_start + 1) for o in problem.offers]
+        consts = problem.offer_constants
+        ranges = [range(c.earliest_start, c.latest_start + 1) for c in consts]
+
+        # Walk the start-time odometer with incremental cost deltas: the
+        # first combination places everything at its earliest start (the
+        # minimum solution); every later combination moves only the offers
+        # whose digit rolled, so a step re-prices a couple of profile-sized
+        # windows instead of the whole horizon.  Compensation is constant
+        # (energies are fixed).
+        first = problem.minimum_solution()
+        energies = first.energies
+        state = IncrementalCostState(
+            problem.engine,
+            problem.net_forecast.values + problem.flex_series(first),
+        )
+        previous = [c.earliest_start for c in consts]
+        flex_constant = problem.flexoffer_cost(first)
+
+        horizon_start = problem.horizon_start
         for starts in product(*ranges):
+            for j, start in enumerate(starts):
+                if start != previous[j]:
+                    state.replace(
+                        previous[j] - horizon_start,
+                        energies[j],
+                        start - horizon_start,
+                        energies[j],
+                    )
+                    previous[j] = start
+            if tracker.evaluations % 8192 == 8191:
+                state.resync()  # bound fp drift on long enumerations
             solution = CandidateSolution(np.asarray(starts, dtype=np.int64), energies)
-            tracker.record(problem.cost(solution), solution)
+            tracker.record(state.total + flex_constant, solution)
             if tracker.evaluations >= combinations:
                 break
         result = tracker.result()

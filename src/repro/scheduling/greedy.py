@@ -9,12 +9,22 @@ such optimal placements does not produce an overall optimal schedule."
 One *pass* builds a complete schedule; the scheduler keeps running fresh
 randomized passes until the budget expires and returns the best schedule
 found (with the cost-over-time trace of Figure 6).
+
+Each placement runs the batched kernel
+:meth:`~repro.scheduling.engine.CostEngine.best_placement` — all admissible
+start positions × all four per-slice energy candidates in one vectorized
+operation — and an :class:`~repro.scheduling.engine.IncrementalCostState`
+carries the residual *and* the pass cost across placements, so a finished
+pass already knows its own cost and ``schedule()`` never re-derives
+``problem.cost(solution)`` from scratch.  The pre-vectorization scalar loop
+survives as :mod:`repro.scheduling.reference` (oracle + benchmark baseline).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .engine import IncrementalCostState
 from .problem import CandidateSolution, SchedulingProblem
 from .result import CostTracker, SchedulingResult
 
@@ -49,85 +59,30 @@ class RandomizedGreedyScheduler:
         if warm_start is not None:
             tracker.record(problem.cost(warm_start), warm_start)
         while not tracker.exhausted():
-            solution = self._one_pass(problem, rng)
-            tracker.record(problem.cost(solution), solution)
+            solution, pass_cost = self._one_pass(problem, rng)
+            tracker.record(pass_cost, solution)
         return tracker.result()
 
     # ------------------------------------------------------------------
     def _one_pass(
         self, problem: SchedulingProblem, rng: np.random.Generator
-    ) -> CandidateSolution:
-        """Schedule every offer once, each in its locally best position."""
-        horizon_start = problem.horizon_start
-        residual = problem.net_forecast.values.copy()
+    ) -> tuple[CandidateSolution, float]:
+        """Schedule every offer once, each in its locally best position.
+
+        Returns the finished candidate *and* its total cost — the
+        incremental state already paid for every placement delta, so the
+        caller must not rebuild the residual just to price the pass again.
+        """
+        consts = problem.offer_constants
+        state = IncrementalCostState.for_problem(problem)
         starts = np.zeros(problem.offer_count, dtype=np.int64)
         energies: list[np.ndarray | None] = [None] * problem.offer_count
 
         for j in rng.permutation(problem.offer_count):
-            offer = problem.offers[j]
-            lo = np.asarray(offer.profile.min_energies())
-            hi = np.asarray(offer.profile.max_energies())
-            duration = offer.duration
+            c = consts[j]
+            start_index, energy, delta = state.best_placement(c)
+            starts[j] = c.earliest_start + start_index
+            energies[j] = energy
+            state.place(c.earliest_index + start_index, energy, delta)
 
-            best_cost = np.inf
-            best_start = offer.earliest_start
-            best_energy = lo
-            for start in offer.start_times():
-                i = start - horizon_start
-                window = residual[i : i + duration]
-                energy, delta = self._optimal_energies(
-                    problem, offer, window, i, lo, hi
-                )
-                if delta < best_cost:
-                    best_cost = delta
-                    best_start = start
-                    best_energy = energy
-            starts[j] = best_start
-            energies[j] = best_energy
-            i = best_start - horizon_start
-            residual[i : i + duration] += best_energy
-
-        return CandidateSolution(starts, [e for e in energies])
-
-    @staticmethod
-    def _optimal_energies(
-        problem: SchedulingProblem,
-        offer,
-        window: np.ndarray,
-        offset: int,
-        lo: np.ndarray,
-        hi: np.ndarray,
-    ) -> tuple[np.ndarray, float]:
-        """Exact per-slice optimal energies for one placement.
-
-        Given the other offers' placements, each slice's cost is piecewise
-        linear in this offer's energy with kinks only where the residual or
-        the energy crosses zero — so the per-slice optimum is at one of four
-        candidates: the bounds, the imbalance-nulling energy, or zero.
-        Scheduling "a single flex-offer in an optimal way" is therefore
-        exact, as the paper notes.
-        """
-        candidates = (
-            lo,
-            hi,
-            np.clip(-window, lo, hi),
-            np.clip(0.0, lo, hi),
-        )
-        before = problem.slice_costs(window, offset)
-        best_energy = lo
-        best_delta = None
-        per_slice_best = None
-        for energy in candidates:
-            delta = (
-                problem.slice_costs(window + energy, offset)
-                - before
-                + offer.unit_price * np.abs(energy)
-            )
-            if per_slice_best is None:
-                per_slice_best = delta.copy()
-                best_energy = energy.copy()
-            else:
-                better = delta < per_slice_best
-                per_slice_best[better] = delta[better]
-                best_energy = np.where(better, energy, best_energy)
-        return best_energy, float(per_slice_best.sum())
+        return CandidateSolution(starts, [e for e in energies]), state.total

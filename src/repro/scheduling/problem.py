@@ -21,6 +21,7 @@ positive energies and worsen shortage, production offers are negative.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
@@ -29,6 +30,7 @@ from ..core.errors import SchedulingError
 from ..core.flexoffer import FlexOffer
 from ..core.schedule import Schedule, ScheduledFlexOffer
 from ..core.timeseries import TimeSeries
+from .engine import CostEngine, OfferConstants, PackedOffers
 from .market import Market
 
 __all__ = ["SchedulingProblem", "CandidateSolution", "ScheduleEvaluation"]
@@ -141,28 +143,55 @@ class SchedulingProblem:
         return len(self.offers)
 
     # ------------------------------------------------------------------
+    # cached solver-path machinery
+    # ------------------------------------------------------------------
+    @cached_property
+    def engine(self) -> CostEngine:
+        """Vectorized cost engine, built lazily once per problem."""
+        return CostEngine(self)
+
+    @cached_property
+    def offer_constants(self) -> tuple[OfferConstants, ...]:
+        """Per-offer bound arrays / prices / start ranges, built once.
+
+        Solvers read these instead of re-materializing ``min_energies`` /
+        ``max_energies`` tuples from the profile on every pass or mutation.
+        """
+        return tuple(
+            OfferConstants.from_offer(offer, self.horizon_start)
+            for offer in self.offers
+        )
+
+    @cached_property
+    def packed_offers(self) -> PackedOffers:
+        """Flat concatenated offer arrays for whole-genome vectorized ops."""
+        return PackedOffers(
+            self.offer_constants, self.horizon_start, self.horizon_length
+        )
+
+    # ------------------------------------------------------------------
     # candidate construction
     # ------------------------------------------------------------------
     def minimum_solution(self) -> CandidateSolution:
         """Everything at earliest start and minimum energy."""
-        starts = np.array([o.earliest_start for o in self.offers], dtype=np.int64)
-        energies = [np.array(o.profile.min_energies()) for o in self.offers]
+        consts = self.offer_constants
+        starts = np.array([c.earliest_start for c in consts], dtype=np.int64)
+        energies = [c.lo.copy() for c in consts]
         return CandidateSolution(starts, energies)
 
     def random_solution(self, rng: np.random.Generator) -> CandidateSolution:
         """Uniformly random starts and energies within all constraints."""
+        consts = self.offer_constants
         starts = np.array(
             [
-                rng.integers(o.earliest_start, o.latest_start + 1)
-                for o in self.offers
+                rng.integers(c.earliest_start, c.latest_start + 1)
+                for c in consts
             ],
             dtype=np.int64,
         )
-        energies = []
-        for offer in self.offers:
-            lo = np.array(offer.profile.min_energies())
-            hi = np.array(offer.profile.max_energies())
-            energies.append(lo + rng.random(len(lo)) * (hi - lo))
+        energies = [
+            c.lo + rng.random(c.duration) * (c.hi - c.lo) for c in consts
+        ]
         return CandidateSolution(starts, energies)
 
     # ------------------------------------------------------------------
@@ -171,11 +200,12 @@ class SchedulingProblem:
     def flex_series(self, solution: CandidateSolution) -> np.ndarray:
         """Net flex-offer energy per horizon slice for a candidate."""
         total = np.zeros(self.horizon_length)
-        for offer, start, energies in zip(
-            self.offers, solution.starts, solution.energies
+        horizon_start = self.horizon_start
+        for c, start, energies in zip(
+            self.offer_constants, solution.starts, solution.energies
         ):
-            i = int(start) - self.horizon_start
-            total[i : i + offer.duration] += energies
+            i = int(start) - horizon_start
+            total[i : i + c.duration] += energies
         return total
 
     def settle_market(
@@ -213,6 +243,22 @@ class SchedulingProblem:
         limits force the penalty on the uncovered remainder); surplus earns
         ``sell_price`` where sellable and pays ``surplus_penalty`` otherwise.
         ``offset`` positions a partial residual window within the horizon.
+
+        This is the solver path: it delegates to the precomputed
+        :class:`~repro.scheduling.engine.CostEngine` closed form, which is
+        property-tested equivalent to :meth:`settled_slice_costs`.
+        """
+        return self.engine.slice_costs(residual, offset)
+
+    def settled_slice_costs(
+        self, residual: np.ndarray, offset: int = 0
+    ) -> np.ndarray:
+        """Slice costs derived from an explicit :meth:`settle_market` call.
+
+        The engine-independent oracle: :meth:`evaluate` and the property
+        tests price residuals through the market settlement directly, so
+        the vectorized engine is checked against an implementation that
+        shares none of its precomputed arrays.
         """
         market = self.market
         window = slice(offset, offset + len(residual))
@@ -234,8 +280,8 @@ class SchedulingProblem:
         """Compensation paid for activated flex-offer energy (cost term 2)."""
         return float(
             sum(
-                offer.unit_price * float(np.abs(energies).sum())
-                for offer, energies in zip(self.offers, solution.energies)
+                c.flex_cost(energies)
+                for c, energies in zip(self.offer_constants, solution.energies)
             )
         )
 
@@ -243,7 +289,7 @@ class SchedulingProblem:
         """Full cost breakdown of one candidate (market settled analytically)."""
         residual = self.net_forecast.values + self.flex_series(solution)
         buy, sell = self.settle_market(residual)
-        slice_costs = self.slice_costs(residual)
+        slice_costs = self.settled_slice_costs(residual)
 
         market_cost = float((buy * self.market.buy_price).sum()) - float(
             (sell * self.market.sell_price).sum()
@@ -263,9 +309,7 @@ class SchedulingProblem:
     def cost(self, solution: CandidateSolution) -> float:
         """Total cost only (the solvers' objective) — cheaper than evaluate."""
         residual = self.net_forecast.values + self.flex_series(solution)
-        return float(self.slice_costs(residual).sum()) + self.flexoffer_cost(
-            solution
-        )
+        return self.engine.total_cost(residual) + self.flexoffer_cost(solution)
 
     # ------------------------------------------------------------------
     def to_schedule(self, solution: CandidateSolution) -> Schedule:
