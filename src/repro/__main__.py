@@ -141,6 +141,14 @@ def _runtime_parser(command: str) -> argparse.ArgumentParser:
         help="cooldown between scheduling runs (slices)",
     )
     parser.add_argument(
+        "--shards", type=int, default=1,
+        help="ingest pipelines the stream is hash-partitioned over",
+    )
+    parser.add_argument(
+        "--engine", choices=("packed", "scalar"), default="packed",
+        help="aggregation engine (columnar 'packed' or object 'scalar')",
+    )
+    parser.add_argument(
         "--metrics", action="store_true",
         help="also dump the full metrics registry",
     )
@@ -180,6 +188,8 @@ def _run_runtime(command: str, argv: list[str]) -> int:
             ),
             min_run_interval_slices=args.min_run_interval,
             seed=args.seed,
+            engine=args.engine,
+            shards=args.shards,
         )
         service = BrpRuntimeService(config)
         generator = LoadGenerator(rate_per_hour=args.rate, seed=args.seed)

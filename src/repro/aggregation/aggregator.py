@@ -82,28 +82,30 @@ class AggregatedFlexOffer(FlexOffer):
 
 
 class _GroupState:
-    """Running aggregation state of one group.
+    """Running aggregation state of one group, O(touched slices) per update.
 
-    The per-slice bounds are kept as an **immutable tuple** that is rebuilt
-    on every insertion — the aggregate's profile is traversed once per added
-    flex-offer, which is the cost model behind the paper's observation that
-    threshold combinations with start-after variation (P2/P3) aggregate more
-    slowly: their aggregate profiles have "an increased number of intervals"
-    to traverse on every insert.  In exchange, snapshots for lazily
-    materialised updates are O(1).
+    The per-slice bound sums are kept in two **mutable lists** anchored at
+    ``base`` (the smallest earliest start the group has seen while
+    non-empty): an insert touches only the new member's ``duration`` slices,
+    and a removal *subtracts* the member's contribution instead of rebuilding
+    the group from the remaining members — the O(group²) churn streaming
+    deletes used to pay.  The group's minimum earliest start is tracked
+    separately (removals may raise it, leaving dead leading slices in the
+    arrays that snapshots simply skip).
 
-    Removals rebuild from the remaining members (they may raise the group's
-    minimum time flexibility, which cannot be undone incrementally).
+    The historical rebuild-everything state survives verbatim in
+    :mod:`repro.aggregation.reference` as the property-test oracle and
+    benchmark baseline.
     """
 
-    __slots__ = ("members", "est", "bounds")
-
-    _ZERO = EnergyConstraint(0.0, 0.0)
+    __slots__ = ("members", "est", "base", "_lo", "_hi")
 
     def __init__(self) -> None:
         self.members: dict[int, FlexOffer] = {}
         self.est = 0
-        self.bounds: tuple[EnergyConstraint, ...] = ()
+        self.base = 0
+        self._lo: list[float] = []
+        self._hi: list[float] = []
 
     def add(self, offer: FlexOffer) -> None:
         if offer.offer_id in self.members:
@@ -111,53 +113,65 @@ class _GroupState:
                 f"flex-offer {offer.offer_id} already in this aggregate"
             )
         if not self.members:
-            self.est = offer.earliest_start
-            lead = 0
+            self.est = self.base = offer.earliest_start
         else:
-            lead = max(0, self.est - offer.earliest_start)
-            self.est = min(self.est, offer.earliest_start)
+            if offer.earliest_start < self.base:
+                pad = self.base - offer.earliest_start
+                self._lo[:0] = [0.0] * pad
+                self._hi[:0] = [0.0] * pad
+                self.base = offer.earliest_start
+            if offer.earliest_start < self.est:
+                self.est = offer.earliest_start
 
-        offset = offer.earliest_start - self.est
+        offset = offer.earliest_start - self.base
         profile = offer.profile
-        duration = len(profile)
-        old = (self._ZERO,) * lead + self.bounds
-        n_old = len(old)
-        length = max(n_old, offset + duration)
-
-        # Conservative per-slice bounds are value objects and the aggregate
-        # profile is rebuilt slice by slice on every insert — the traversal
-        # "every time a new flex-offer has to be aggregated" of paper §9.
-        zero = self._ZERO
-        new_bounds: list[EnergyConstraint] = []
-        append = new_bounds.append
-        for k in range(length):
-            c = old[k] if k < n_old else zero
-            if offset <= k < offset + duration:
-                m = profile[k - offset]
-                append(
-                    EnergyConstraint(
-                        c.min_energy + m.min_energy, c.max_energy + m.max_energy
-                    )
-                )
-            else:
-                append(EnergyConstraint(c.min_energy, c.max_energy))
-        self.bounds = tuple(new_bounds)
+        need = offset + len(profile)
+        if need > len(self._lo):
+            grow = need - len(self._lo)
+            self._lo.extend([0.0] * grow)
+            self._hi.extend([0.0] * grow)
+        lo, hi = self._lo, self._hi
+        for k, c in enumerate(profile, start=offset):
+            lo[k] += c.min_energy
+            hi[k] += c.max_energy
         self.members[offer.offer_id] = offer
 
     def remove(self, offer_id: int) -> None:
-        if offer_id not in self.members:
+        offer = self.members.pop(offer_id, None)
+        if offer is None:
             raise AggregationError(f"flex-offer {offer_id} not in this aggregate")
-        remaining = [o for oid, o in self.members.items() if oid != offer_id]
-        self.members.clear()
-        self.bounds = ()
-        for offer in remaining:
-            self.add(offer)
+        if not self.members:
+            self.est = self.base = 0
+            self._lo.clear()
+            self._hi.clear()
+            return
+        offset = offer.earliest_start - self.base
+        lo, hi = self._lo, self._hi
+        for k, c in enumerate(offer.profile, start=offset):
+            lo[k] -= c.min_energy
+            hi[k] -= c.max_energy
+        if offer.earliest_start == self.est:
+            self.est = min(o.earliest_start for o in self.members.values())
 
     def snapshot(
         self,
     ) -> tuple[tuple[FlexOffer, ...], int, tuple[EnergyConstraint, ...]]:
-        """O(members) snapshot; the bounds tuple is immutable and shared."""
-        return tuple(self.members.values()), self.est, self.bounds
+        """O(members + profile) snapshot of the live, mutable state."""
+        members = tuple(self.members.values())
+        if not members:
+            return members, self.est, ()
+        start = self.est - self.base
+        length = max((o.earliest_start - self.est) + o.duration for o in members)
+        bounds = tuple(
+            # Guard against sub-ulp subtraction residue inverting a slice
+            # whose bounds coincide; exact-value corpora never trigger it.
+            EnergyConstraint(lo, hi if hi >= lo else lo)
+            for lo, hi in zip(
+                self._lo[start : start + length],
+                self._hi[start : start + length],
+            )
+        )
+        return members, self.est, bounds
 
     def build(self, offer_id: int) -> AggregatedFlexOffer:
         """Materialise the immutable aggregated flex-offer (O(profile))."""
@@ -174,9 +188,23 @@ def _build_aggregate(
     """Construct the immutable aggregate from a state snapshot."""
     if not members:
         raise AggregationError("cannot build an aggregate from no members")
-    time_flex = min(o.time_flexibility for o in members)
     length = max((o.earliest_start - est) + o.duration for o in members)
-    profile = Profile(bounds[:length])
+    return _finalize_aggregate(members, est, Profile(bounds[:length]), offer_id)
+
+
+def _finalize_aggregate(
+    members: tuple[FlexOffer, ...],
+    est: int,
+    profile: Profile,
+    offer_id: int,
+) -> AggregatedFlexOffer:
+    """Assemble the aggregate metadata around an already-built profile.
+
+    Shared by the scalar state (bounds tuples) and the columnar engine
+    (profiles built from packed arrays), so both construct aggregates with
+    identical semantics.
+    """
+    time_flex = min(o.time_flexibility for o in members)
     deadlines = [
         o.assignment_before for o in members if o.assignment_before is not None
     ]
@@ -235,7 +263,10 @@ def disaggregate(scheduled: ScheduledFlexOffer) -> list[ScheduledFlexOffer]:
         )
 
     delta = scheduled.start - aggregate.earliest_start
-    fractions = _slice_fractions(aggregate, scheduled.energies)
+    # The aggregate profile is the long one — its fraction sweep is
+    # vectorized; member profiles are short, so plain Python arithmetic
+    # beats array round-trips (and cold bound-array cache fills) per member.
+    fractions = _slice_fractions(aggregate, scheduled.energies).tolist()
 
     out: list[ScheduledFlexOffer] = []
     for member, offset in zip(aggregate.members, aggregate.offsets):
@@ -250,21 +281,29 @@ def disaggregate(scheduled: ScheduledFlexOffer) -> list[ScheduledFlexOffer]:
 
 def _slice_fractions(
     aggregate: AggregatedFlexOffer, energies: Sequence[float]
-) -> list[float]:
-    """Per-slice position of the scheduled energy within its [min, max] range."""
-    fractions: list[float] = []
-    for k, constraint in enumerate(aggregate.profile):
-        width = constraint.energy_flexibility
-        if width <= _ENERGY_EPS:
-            if abs(energies[k] - constraint.min_energy) > 1e-6:
-                raise DisaggregationError(
-                    f"scheduled energy {energies[k]} deviates from the fixed "
-                    f"amount {constraint.min_energy} in slice {k}"
-                )
-            fractions.append(0.0)
-        else:
-            f = (energies[k] - constraint.min_energy) / width
-            fractions.append(min(1.0, max(0.0, f)))
+) -> np.ndarray:
+    """Per-slice position of the scheduled energy within its [min, max] range.
+
+    Vectorized over the aggregate profile's cached bound arrays — this runs
+    for every scheduled aggregate on every re-planning trigger, and the
+    per-slice Python loop dominated the streaming runtime's wall clock.
+    """
+    values = np.asarray(energies, dtype=float)
+    lo = aggregate.profile.min_array
+    width = aggregate.profile.max_array - lo
+    fixed = width <= _ENERGY_EPS
+    if fixed.any():
+        off = np.abs(values - lo) > 1e-6
+        off &= fixed
+        if off.any():
+            k = int(np.argmax(off))
+            raise DisaggregationError(
+                f"scheduled energy {values[k]} deviates from the fixed "
+                f"amount {lo[k]} in slice {k}"
+            )
+    fractions = (values - lo) / np.where(fixed, 1.0, width)
+    fractions[fixed] = 0.0
+    np.clip(fractions, 0.0, 1.0, out=fractions)
     return fractions
 
 
@@ -280,6 +319,10 @@ class NToOneAggregator:
     aggregate object — not to the whole group.  With ``incremental=False``
     every modification re-aggregates the group from scratch.
     """
+
+    #: State class per group; the reference oracle swaps in the historical
+    #: rebuild-on-remove state (see :mod:`repro.aggregation.reference`).
+    _state_factory = _GroupState
 
     def __init__(self, *, incremental: bool = True) -> None:
         self.incremental = incremental
@@ -321,7 +364,7 @@ class NToOneAggregator:
             if self.incremental:
                 state = self._apply_incremental(gid, update.offers)
             else:
-                state = _GroupState()
+                state = self._state_factory()
                 for offer in update.offers:
                     state.add(offer)
                 self._states[gid] = state
@@ -347,7 +390,7 @@ class NToOneAggregator:
     def _apply_incremental(self, gid: str, offers: tuple[FlexOffer, ...]) -> _GroupState:
         state = self._states.get(gid)
         if state is None:
-            state = self._states[gid] = _GroupState()
+            state = self._states[gid] = self._state_factory()
         current = {o.offer_id for o in offers}
         for oid in [oid for oid in state.members if oid not in current]:
             state.remove(oid)

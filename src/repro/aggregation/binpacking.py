@@ -19,13 +19,55 @@ minimum cannot satisfy it at all).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from ..core.errors import AggregationError
 from ..core.flexoffer import FlexOffer
 from .updates import GroupUpdate, UpdateKind
 
-__all__ = ["BinPackerBounds", "BinPacker"]
+__all__ = ["BinPackerBounds", "BinPacker", "first_fit_bins"]
+
+
+def first_fit_bins(
+    weights: Sequence[float], minimum: float, maximum: float
+) -> list[list[int]]:
+    """Deterministic first-fit partition of item positions by weight.
+
+    Items are packed in the given order (callers pre-sort by offer id);
+    returns bins of item positions.  The trailing bin is best-effort on the
+    lower side: first try folding it into its predecessor, then try
+    rebalancing items from the predecessor into it; give up if neither keeps
+    all bounds intact.  Shared by :class:`BinPacker` (weighing offer objects)
+    and the columnar engine (weighing packed pool columns) so both produce
+    identical packings.
+    """
+    bins: list[list[int]] = []
+    totals: list[float] = []
+    for i, w in enumerate(weights):
+        if bins and totals[-1] + w <= maximum:
+            bins[-1].append(i)
+            totals[-1] += w
+        else:
+            bins.append([i])
+            totals.append(w)
+
+    if len(bins) >= 2 and totals[-1] < minimum:
+        if totals[-2] + totals[-1] <= maximum:
+            bins[-2].extend(bins[-1])
+            totals[-2] += totals[-1]
+            del bins[-1], totals[-1]
+        else:
+            while totals[-1] < minimum and len(bins[-2]) > 1:
+                moved = weights[bins[-2][-1]]
+                if (
+                    totals[-2] - moved < minimum
+                    or totals[-1] + moved > maximum
+                ):
+                    break
+                bins[-1].insert(0, bins[-2].pop())
+                totals[-2] -= moved
+                totals[-1] += moved
+    return bins
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,40 +165,9 @@ class BinPacker:
         self, group_id: str, offers: tuple[FlexOffer, ...]
     ) -> dict[str, tuple[FlexOffer, ...]]:
         ordered = sorted(offers, key=lambda o: o.offer_id)
-        bins: list[list[FlexOffer]] = []
-        weights: list[float] = []
-        for offer in ordered:
-            w = self.bounds.weight(offer)
-            if bins and weights[-1] + w <= self.bounds.maximum:
-                bins[-1].append(offer)
-                weights[-1] += w
-            else:
-                bins.append([offer])
-                weights.append(w)
-
-        # Best-effort lower bound for the trailing bin: first try folding it
-        # into its predecessor, then try rebalancing items from the
-        # predecessor into it; give up if neither keeps all bounds intact.
-        if len(bins) >= 2 and weights[-1] < self.bounds.minimum:
-            if weights[-2] + weights[-1] <= self.bounds.maximum:
-                bins[-2].extend(bins[-1])
-                weights[-2] += weights[-1]
-                del bins[-1], weights[-1]
-            else:
-                while (
-                    weights[-1] < self.bounds.minimum
-                    and len(bins[-2]) > 1
-                ):
-                    moved = self.bounds.weight(bins[-2][-1])
-                    if (
-                        weights[-2] - moved < self.bounds.minimum
-                        or weights[-1] + moved > self.bounds.maximum
-                    ):
-                        break
-                    bins[-1].insert(0, bins[-2].pop())
-                    weights[-2] -= moved
-                    weights[-1] += moved
-
+        weights = [self.bounds.weight(o) for o in ordered]
+        bins = first_fit_bins(weights, self.bounds.minimum, self.bounds.maximum)
         return {
-            f"{group_id}#{i}": tuple(members) for i, members in enumerate(bins)
+            f"{group_id}#{i}": tuple(ordered[j] for j in members)
+            for i, members in enumerate(bins)
         }

@@ -10,12 +10,81 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from ..core.errors import AggregationError
 from ..core.flexoffer import FlexOffer
 from .thresholds import AggregationParameters
 from .updates import FlexOfferUpdate, GroupUpdate, UpdateKind
 
-__all__ = ["GroupBuilder"]
+__all__ = ["GroupBuilder", "cell_columns", "partition_cells"]
+
+
+# ----------------------------------------------------------------------
+# vectorized grouping (the columnar engine's batch path)
+# ----------------------------------------------------------------------
+def cell_columns(
+    parameters: AggregationParameters,
+    earliest: np.ndarray,
+    time_flex: np.ndarray,
+    duration: np.ndarray,
+    price: np.ndarray,
+) -> np.ndarray:
+    """Grid-cell key matrix for a whole batch, shape ``(4, n)``.
+
+    Mirrors :meth:`AggregationParameters.group_key` as array ops: two rows
+    of this matrix are equal exactly when the two offers share a grid cell.
+    The scalar path hashes cells offer-by-offer; the columnar engine calls
+    this once per batch and derives the canonical cell tuple only once per
+    *unique* cell.  Columns are float64 (integer components are exact).
+    """
+    n = len(earliest)
+    columns = np.empty((4, n))
+    for row, (values, tol) in enumerate(
+        (
+            (earliest, parameters.start_after_tolerance),
+            (time_flex, parameters.time_flexibility_tolerance),
+            (duration, parameters.duration_tolerance),
+        )
+    ):
+        columns[row] = -1.0 if tol is None else values // (tol + 1)
+    tol = parameters.unit_price_tolerance
+    if tol is None:
+        columns[3] = -1.0
+    elif tol == 0:
+        columns[3] = price
+    else:
+        columns[3] = np.floor_divide(price, tol)
+    return columns
+
+
+def partition_cells(
+    columns: np.ndarray,
+) -> tuple[list[np.ndarray], np.ndarray, np.ndarray]:
+    """Partition batch positions by identical cell key (one lexsort).
+
+    Returns ``(parts, order, starts)``: one index array per unique cell
+    (indices within each array are ascending, i.e. submission order), plus
+    the lexsort order and the partition start offsets into it — callers use
+    those for per-group ``reduceat`` sweeps (e.g. group extents).  The
+    caller maps each partition's first element back to an offer to obtain
+    the canonical cell tuple.
+    """
+    n = columns.shape[1]
+    if n == 0:
+        return [], np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    if n == 1:
+        only = np.zeros(1, dtype=np.int64)
+        return [only], only, np.zeros(1, dtype=np.int64)
+    order = np.lexsort(columns)
+    ordered = columns[:, order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (ordered[:, 1:] != ordered[:, :-1]).any(axis=0)
+    starts = np.flatnonzero(boundary)
+    # lexsort is stable, so positions within each partition are already
+    # ascending (= submission order).
+    return np.split(order, starts[1:]), order, starts
 
 
 class GroupBuilder:

@@ -14,6 +14,7 @@ import gc
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Sequence
 
+from ..core.errors import AggregationError
 from ..core.flexoffer import FlexOffer
 from .aggregator import AggregatedFlexOffer, NToOneAggregator
 from .binpacking import BinPacker, BinPackerBounds
@@ -21,7 +22,41 @@ from .grouping import GroupBuilder
 from .thresholds import AggregationParameters
 from .updates import AggregateUpdate, FlexOfferUpdate
 
-__all__ = ["AggregationPipeline", "aggregate_from_scratch"]
+__all__ = ["AggregationPipeline", "aggregate_from_scratch", "make_pipeline"]
+
+#: Engines accepted by :func:`make_pipeline`.
+PIPELINE_ENGINES = ("packed", "scalar", "reference")
+
+
+def make_pipeline(
+    parameters: AggregationParameters,
+    bounds: BinPackerBounds | None = None,
+    *,
+    engine: str = "scalar",
+):
+    """Build an aggregation pipeline for the requested engine.
+
+    ``"packed"`` is the columnar engine
+    (:class:`~repro.aggregation.engine.PackedAggregationPipeline`, the
+    runtime default), ``"scalar"`` the live object pipeline, and
+    ``"reference"`` the scalar pipeline over the historical
+    rebuild-on-remove group state (oracle and benchmark baseline).  All
+    three expose the same submit/run/aggregates interface.
+    """
+    if engine == "packed":
+        from .engine import PackedAggregationPipeline
+
+        return PackedAggregationPipeline(parameters, bounds)
+    if engine in ("scalar", "reference"):
+        pipeline = AggregationPipeline(parameters, bounds)
+        if engine == "reference":
+            from .reference import ReferenceAggregator
+
+            pipeline.aggregator = ReferenceAggregator()
+        return pipeline
+    raise AggregationError(
+        f"unknown aggregation engine {engine!r}; expected one of {PIPELINE_ENGINES}"
+    )
 
 
 @contextmanager

@@ -1,0 +1,126 @@
+"""Scalar reference implementation of the aggregation state machinery.
+
+This is the pre-columnar aggregation hot path, kept verbatim for two jobs
+(the same pattern as :mod:`repro.scheduling.reference`):
+
+* **correctness oracle** — ``tests/test_aggregation_engine.py``
+  property-tests that the columnar engine in
+  :mod:`repro.aggregation.engine` and the subtract-based live
+  ``_GroupState`` produce identical aggregates and update streams;
+* **recorded baseline** — ``benchmarks/bench_fig5b_aggregation_time.py``
+  times this path on the same workload as the packed engine and records
+  both in ``BENCH_aggregation.json``, so the speedup has a trajectory
+  rather than a one-off claim.
+
+It deliberately rebuilds the per-slice bounds tuple on every insert and
+re-aggregates the whole group from the remaining members on every removal
+(the O(group²) churn the live state no longer pays) — do not "optimize" it.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import AggregationError
+from ..core.flexoffer import EnergyConstraint, FlexOffer
+from .aggregator import AggregatedFlexOffer, NToOneAggregator, _build_aggregate
+
+__all__ = ["ReferenceGroupState", "ReferenceAggregator", "reference_aggregate_group"]
+
+
+class ReferenceGroupState:
+    """Running aggregation state of one group (historical implementation).
+
+    The per-slice bounds are kept as an **immutable tuple** that is rebuilt
+    on every insertion — the aggregate's profile is traversed once per added
+    flex-offer, which is the cost model behind the paper's observation that
+    threshold combinations with start-after variation (P2/P3) aggregate more
+    slowly: their aggregate profiles have "an increased number of intervals"
+    to traverse on every insert.  In exchange, snapshots for lazily
+    materialised updates are O(1).
+
+    Removals rebuild from the remaining members (they may raise the group's
+    minimum time flexibility, which cannot be undone incrementally).
+    """
+
+    __slots__ = ("members", "est", "bounds")
+
+    _ZERO = EnergyConstraint(0.0, 0.0)
+
+    def __init__(self) -> None:
+        self.members: dict[int, FlexOffer] = {}
+        self.est = 0
+        self.bounds: tuple[EnergyConstraint, ...] = ()
+
+    def add(self, offer: FlexOffer) -> None:
+        if offer.offer_id in self.members:
+            raise AggregationError(
+                f"flex-offer {offer.offer_id} already in this aggregate"
+            )
+        if not self.members:
+            self.est = offer.earliest_start
+            lead = 0
+        else:
+            lead = max(0, self.est - offer.earliest_start)
+            self.est = min(self.est, offer.earliest_start)
+
+        offset = offer.earliest_start - self.est
+        profile = offer.profile
+        duration = len(profile)
+        old = (self._ZERO,) * lead + self.bounds
+        n_old = len(old)
+        length = max(n_old, offset + duration)
+
+        # Conservative per-slice bounds are value objects and the aggregate
+        # profile is rebuilt slice by slice on every insert — the traversal
+        # "every time a new flex-offer has to be aggregated" of paper §9.
+        zero = self._ZERO
+        new_bounds: list[EnergyConstraint] = []
+        append = new_bounds.append
+        for k in range(length):
+            c = old[k] if k < n_old else zero
+            if offset <= k < offset + duration:
+                m = profile[k - offset]
+                append(
+                    EnergyConstraint(
+                        c.min_energy + m.min_energy, c.max_energy + m.max_energy
+                    )
+                )
+            else:
+                append(EnergyConstraint(c.min_energy, c.max_energy))
+        self.bounds = tuple(new_bounds)
+        self.members[offer.offer_id] = offer
+
+    def remove(self, offer_id: int) -> None:
+        if offer_id not in self.members:
+            raise AggregationError(f"flex-offer {offer_id} not in this aggregate")
+        remaining = [o for oid, o in self.members.items() if oid != offer_id]
+        self.members.clear()
+        self.bounds = ()
+        for offer in remaining:
+            self.add(offer)
+
+    def snapshot(
+        self,
+    ) -> tuple[tuple[FlexOffer, ...], int, tuple[EnergyConstraint, ...]]:
+        """O(members) snapshot; the bounds tuple is immutable and shared."""
+        return tuple(self.members.values()), self.est, self.bounds
+
+    def build(self, offer_id: int) -> AggregatedFlexOffer:
+        """Materialise the immutable aggregated flex-offer (O(profile))."""
+        members, est, bounds = self.snapshot()
+        return _build_aggregate(members, est, bounds, offer_id)
+
+
+class ReferenceAggregator(NToOneAggregator):
+    """The n-to-1 aggregator over the historical rebuild-on-remove state."""
+
+    _state_factory = ReferenceGroupState
+
+
+def reference_aggregate_group(offers, *, offer_id=None) -> AggregatedFlexOffer:
+    """Aggregate one group through the reference state (oracle convenience)."""
+    if not offers:
+        raise AggregationError("cannot aggregate an empty group")
+    state = ReferenceGroupState()
+    for offer in offers:
+        state.add(offer)
+    return state.build(offers[0].offer_id if offer_id is None else offer_id)

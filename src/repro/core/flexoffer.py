@@ -21,6 +21,8 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from .errors import InvalidFlexOfferError
 
 __all__ = [
@@ -85,9 +87,14 @@ class Profile(tuple):
     Each entry spans exactly one slice of the time axis; devices whose
     operation covers several slices simply repeat constraints (a 2 h washing
     cycle on a 15-min axis is a profile of 8 slices).
-    """
 
-    __slots__ = ()
+    Bound views (:meth:`min_energies` / :meth:`max_energies` and the NumPy
+    :attr:`min_array` / :attr:`max_array`) are cached on first access: they
+    are hit on every aggregate build and every cost-engine pack, and the
+    profile is immutable, so re-materialising them per call was pure waste.
+    (No ``__slots__``: tuple subclasses cannot carry non-empty slots, and the
+    cache lives in the instance dict.)
+    """
 
     def __new__(cls, slices: Iterable[EnergyConstraint]) -> "Profile":
         items = tuple(slices)
@@ -104,8 +111,16 @@ class Profile(tuple):
     def from_bounds(
         cls, bounds: Iterable[tuple[float, float]]
     ) -> "Profile":
-        """Build a profile from ``(min_energy, max_energy)`` pairs."""
-        return cls(EnergyConstraint(lo, hi) for lo, hi in bounds)
+        """Build a profile from ``(min_energy, max_energy)`` pairs.
+
+        Skips the per-item type validation of the constructor — every item
+        is an :class:`EnergyConstraint` built right here (aggregate builds
+        materialise millions of them, so the check is pure overhead).
+        """
+        items = tuple(EnergyConstraint(lo, hi) for lo, hi in bounds)
+        if not items:
+            raise InvalidFlexOfferError("a profile must contain at least one slice")
+        return tuple.__new__(cls, items)
 
     @classmethod
     def constant(cls, n_slices: int, min_energy: float, max_energy: float) -> "Profile":
@@ -135,12 +150,44 @@ class Profile(tuple):
         return sum(s.energy_flexibility for s in self)
 
     def min_energies(self) -> tuple[float, ...]:
-        """Lower bounds as a tuple."""
-        return tuple(s.min_energy for s in self)
+        """Lower bounds as a tuple (cached)."""
+        cached = self.__dict__.get("_min_energies")
+        if cached is None:
+            cached = tuple(s.min_energy for s in self)
+            self.__dict__["_min_energies"] = cached
+        return cached
 
     def max_energies(self) -> tuple[float, ...]:
-        """Upper bounds as a tuple."""
-        return tuple(s.max_energy for s in self)
+        """Upper bounds as a tuple (cached)."""
+        cached = self.__dict__.get("_max_energies")
+        if cached is None:
+            cached = tuple(s.max_energy for s in self)
+            self.__dict__["_max_energies"] = cached
+        return cached
+
+    @property
+    def min_array(self) -> np.ndarray:
+        """Read-only float64 array of the lower bounds (cached)."""
+        cached = self.__dict__.get("_min_array")
+        if cached is None:
+            cached = np.fromiter(
+                (s.min_energy for s in self), dtype=float, count=len(self)
+            )
+            cached.setflags(write=False)
+            self.__dict__["_min_array"] = cached
+        return cached
+
+    @property
+    def max_array(self) -> np.ndarray:
+        """Read-only float64 array of the upper bounds (cached)."""
+        cached = self.__dict__.get("_max_array")
+        if cached is None:
+            cached = np.fromiter(
+                (s.max_energy for s in self), dtype=float, count=len(self)
+            )
+            cached.setflags(write=False)
+            self.__dict__["_max_array"] = cached
+        return cached
 
 
 @dataclass(frozen=True, slots=True)
@@ -241,6 +288,16 @@ class FlexOffer:
     def is_consumption(self) -> bool:
         """True when the offer is net-consuming (positive mean energy)."""
         return (self.total_min_energy + self.total_max_energy) >= 0
+
+    @property
+    def min_array(self) -> np.ndarray:
+        """Per-slice minimum energies as a cached read-only array."""
+        return self.profile.min_array
+
+    @property
+    def max_array(self) -> np.ndarray:
+        """Per-slice maximum energies as a cached read-only array."""
+        return self.profile.max_array
 
     def start_times(self) -> Iterator[int]:
         """Iterate over all admissible start slices."""

@@ -37,27 +37,46 @@ class ScheduledFlexOffer:
     energies: tuple[float, ...]
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "energies", tuple(float(e) for e in self.energies))
+        values = np.asarray(self.energies, dtype=float)
+        object.__setattr__(self, "energies", tuple(values.tolist()))
         if not self.offer.earliest_start <= self.start <= self.offer.latest_start:
             raise InvalidScheduleError(
                 f"start {self.start} outside "
                 f"[{self.offer.earliest_start}, {self.offer.latest_start}] "
                 f"for offer {self.offer.offer_id}"
             )
-        if len(self.energies) != self.offer.duration:
+        if len(values) != self.offer.duration:
             raise InvalidScheduleError(
-                f"got {len(self.energies)} energies for a "
+                f"got {len(values)} energies for a "
                 f"{self.offer.duration}-slice profile"
             )
-        for i, (energy, constraint) in enumerate(
-            zip(self.energies, self.offer.profile)
-        ):
-            if not constraint.contains(energy):
-                raise InvalidScheduleError(
-                    f"energy {energy} outside "
-                    f"[{constraint.min_energy}, {constraint.max_energy}] "
-                    f"in slice {i} of offer {self.offer.offer_id}"
-                )
+        # Containment check: vectorized over the profile's cached bound
+        # arrays when they are already materialised (scheduler outputs —
+        # the engine packed this profile, so the arrays are warm); plain
+        # per-slice arithmetic otherwise, which beats a cold cache fill for
+        # the short profiles disaggregation produces.
+        profile = self.offer.profile
+        if "_min_array" in profile.__dict__:
+            bad = (values < profile.min_array - 1e-9) | (
+                values > profile.max_array + 1e-9
+            )
+            violation = int(np.argmax(bad)) if bad.any() else None
+        else:
+            violation = next(
+                (
+                    i
+                    for i, (energy, constraint) in enumerate(zip(self.energies, profile))
+                    if not constraint.contains(energy)
+                ),
+                None,
+            )
+        if violation is not None:
+            constraint = profile[violation]
+            raise InvalidScheduleError(
+                f"energy {self.energies[violation]} outside "
+                f"[{constraint.min_energy}, {constraint.max_energy}] "
+                f"in slice {violation} of offer {self.offer.offer_id}"
+            )
 
     @property
     def end(self) -> int:

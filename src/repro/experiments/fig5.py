@@ -26,6 +26,7 @@ from ..aggregation import (
     AggregationPipeline,
     disaggregate,
     evaluate_aggregation,
+    make_pipeline,
     paper_combinations,
 )
 from ..core.schedule import ScheduledFlexOffer
@@ -94,13 +95,21 @@ def run_fig5(
     seed: int = 42,
     measure_disaggregation: bool = True,
     verbose: bool = True,
+    engine: str = "reference",
 ) -> Fig5Result:
     """Replay the paper's aggregation experiment.
 
     The offer stream is inserted in ``n_points`` equal chunks; after each
     chunk the pipeline state is measured, giving the count-axis of the
     figures.  Disaggregation is timed on the final state of each
-    combination.
+    combination.  ``engine`` selects the aggregation pipeline; the default
+    is the **reference** engine, deliberately: the paper's Fig. 5(b) claim —
+    P2/P3 aggregate more slowly because their profiles carry more intervals
+    to traverse per insert — is a statement about the rebuild-per-insert
+    cost model, which only the reference state preserves.  Pass
+    ``"packed"`` (or ``"scalar"``) to run the optimised engines on the
+    identical stream; the Fig-5b benchmark records those trajectories into
+    ``BENCH_aggregation.json``.
     """
     from ..datagen import paper_dataset  # local import: heavy module
 
@@ -112,7 +121,7 @@ def run_fig5(
 
     result = Fig5Result()
     for params in combinations:
-        pipeline = AggregationPipeline(params)
+        pipeline = make_pipeline(params, engine=engine)
         elapsed = 0.0
         processed = 0
         for i in range(0, total_offers, chunk):

@@ -13,7 +13,7 @@ Public API::
     from repro.runtime import (
         BrpRuntimeService, RuntimeConfig, RuntimeReport,
         EventQueue, SimulatedClock,
-        FlexOfferIngest, LoadGenerator, MetricsRegistry,
+        FlexOfferIngest, ShardedFlexOfferIngest, LoadGenerator, MetricsRegistry,
         TriggerContext, CountTrigger, AgeTrigger, ImbalanceTrigger, AnyTrigger,
     )
 """
@@ -23,6 +23,7 @@ from .ingest import FlexOfferIngest
 from .loadgen import LoadGenerator
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .service import BrpRuntimeService, RuntimeConfig, RuntimeReport
+from .sharding import ShardedFlexOfferIngest
 from .triggers import (
     AgeTrigger,
     AnyTrigger,
@@ -48,6 +49,7 @@ __all__ = [
     "MetricsRegistry",
     "RuntimeConfig",
     "RuntimeReport",
+    "ShardedFlexOfferIngest",
     "SimulatedClock",
     "TriggerContext",
     "TriggerPolicy",

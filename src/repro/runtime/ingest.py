@@ -23,7 +23,20 @@ from ..core.flexoffer import FlexOffer
 from ..datamgmt.mirabel import LedmsStore
 from .metrics import MetricsRegistry
 
-__all__ = ["FlexOfferIngest"]
+__all__ = ["FlexOfferIngest", "admission_clip"]
+
+
+def admission_clip(offer: FlexOffer, now: int) -> FlexOffer:
+    """The admission-time window clip, shared with the shard router.
+
+    An offer whose earliest start already passed but whose window is still
+    open starts no earlier than ``now``.  Sharded ingest routes by the
+    *clipped* offer's group cell, so this single definition is what keeps
+    routing cells equal to grouping cells.
+    """
+    if offer.earliest_start < now and offer.latest_start >= now:
+        return offer.with_times(now, offer.latest_start)
+    return offer
 
 
 class FlexOfferIngest:
@@ -60,6 +73,11 @@ class FlexOfferIngest:
     def batch_full(self) -> bool:
         """Whether enough updates accumulated to warrant a pipeline run."""
         return self._pending >= self.batch_size
+
+    @property
+    def input_count(self) -> int:
+        """Micro flex-offers currently held by the pipeline behind this ingest."""
+        return self.pipeline.input_count
 
     # ------------------------------------------------------------------
     def _record(self, offer: FlexOffer, state: str, now: int) -> None:
@@ -100,8 +118,7 @@ class FlexOfferIngest:
             self.metrics.counter("ingest.rejected").inc()
             self._record(offer, "rejected", now)
             return None
-        if offer.earliest_start < now:
-            offer = offer.with_times(now, offer.latest_start)
+        offer = admission_clip(offer, now)
         self.pipeline.submit(FlexOfferUpdate.insert(offer))
         self._pending += 1
         self._batch.append(offer)

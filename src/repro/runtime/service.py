@@ -3,8 +3,11 @@
 This is the online counterpart of :mod:`repro.node.simulation`'s one-shot
 planning day.  A :class:`BrpRuntimeService` consumes a continuous stream of
 flex-offer arrivals (simulated time via :class:`~repro.runtime.clock.EventQueue`),
-maintains the aggregate pool *incrementally* through the existing
-:class:`~repro.aggregation.pipeline.AggregationPipeline`, and re-runs
+maintains the aggregate pool *incrementally* — by default through the
+columnar :class:`~repro.aggregation.engine.PackedAggregationPipeline`
+(``RuntimeConfig(engine="scalar")`` selects the object pipeline), optionally
+partitioned over ``RuntimeConfig(shards=K)`` hash-routed ingest pipelines
+whose pools merge at scheduling time — and re-runs
 scheduling when a :mod:`~repro.runtime.triggers` policy fires — warm-starting
 the greedy scheduler from the previous plan so sustained streams pay only for
 what changed.  Each re-planning run prices placements through the batched
@@ -29,13 +32,12 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from ..aggregation.aggregator import AggregatedFlexOffer, disaggregate
-from ..aggregation.pipeline import AggregationPipeline
+from ..aggregation.aggregator import AggregatedFlexOffer
+from ..aggregation.pipeline import make_pipeline
 from ..aggregation.thresholds import AggregationParameters
 from ..aggregation.updates import AggregateUpdate, UpdateKind
 from ..core.errors import ServiceError
 from ..core.flexoffer import FlexOffer
-from ..core.schedule import ScheduledFlexOffer
 from ..core.timebase import DEFAULT_AXIS, TimeAxis
 from ..core.timeseries import TimeSeries
 from ..datamgmt.mirabel import LedmsStore
@@ -49,6 +51,7 @@ from ..scheduling import (
 from .clock import EventQueue
 from .ingest import FlexOfferIngest
 from .metrics import MetricsRegistry
+from .sharding import ShardedFlexOfferIngest
 from .triggers import (
     AgeTrigger,
     AnyTrigger,
@@ -111,6 +114,10 @@ class RuntimeConfig:
     """Simulated slices between sweeps retiring closed-window offers."""
     seed: int = 0
     """Seed of the scheduler RNG (the load generator has its own)."""
+    engine: str = "packed"
+    """Aggregation engine: ``"packed"`` (columnar) or ``"scalar"``."""
+    shards: int = 1
+    """Ingest pipelines the stream is partitioned over (by group-cell hash)."""
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -121,6 +128,12 @@ class RuntimeConfig:
             raise ServiceError("scheduler_passes must be positive")
         if self.expiry_sweep_interval <= 0:
             raise ServiceError("expiry_sweep_interval must be positive")
+        if self.engine not in ("packed", "scalar"):
+            raise ServiceError(
+                f"engine must be 'packed' or 'scalar', got {self.engine!r}"
+            )
+        if self.shards <= 0:
+            raise ServiceError("shards must be positive")
 
 
 @dataclass
@@ -209,13 +222,28 @@ class BrpRuntimeService:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.net_forecast = net_forecast
         self.queue = EventQueue()
-        self.pipeline = AggregationPipeline(self.config.aggregation_parameters)
-        self.ingest = FlexOfferIngest(
-            self.pipeline,
-            store=self.store,
-            metrics=self.metrics,
-            batch_size=self.config.batch_size,
-        )
+        if self.config.shards > 1:
+            # Sharded ingest: K pipelines keyed by group-cell hash; pools are
+            # merged at scheduling time through the shared update stream.
+            self.pipeline = None
+            self.ingest = ShardedFlexOfferIngest(
+                self.config.aggregation_parameters,
+                shards=self.config.shards,
+                engine=self.config.engine,
+                store=self.store,
+                metrics=self.metrics,
+                batch_size=self.config.batch_size,
+            )
+        else:
+            self.pipeline = make_pipeline(
+                self.config.aggregation_parameters, engine=self.config.engine
+            )
+            self.ingest = FlexOfferIngest(
+                self.pipeline,
+                store=self.store,
+                metrics=self.metrics,
+                batch_size=self.config.batch_size,
+            )
         self.scheduler = RandomizedGreedyScheduler()
         self.pool: dict[str, AggregateUpdate] = {}
         self.last_schedule = None
@@ -223,6 +251,11 @@ class BrpRuntimeService:
         self._scheduled: set[int] = set()
         self._scheduled_total = 0
         self._committed_start: dict[int, int] = {}
+        # aggregate offer_id -> (start, energies) of the last disaggregated
+        # plan.  A pool change always materialises a *new* aggregate (new
+        # offer_id), so an unchanged key proves every member's schedule is
+        # unchanged and the whole disaggregation can be skipped.
+        self._plan_cache: dict[int, tuple[int, tuple]] = {}
         self._stream_overflow: tuple[Iterable, float, FlexOffer] | None = None
         self._arrival_sim: dict[int, float] = {}
         self._arrival_wall: dict[int, float] = {}
@@ -356,7 +389,11 @@ class BrpRuntimeService:
         end = start + self.config.horizon_slices
         eligible: list[tuple[str, AggregatedFlexOffer]] = []
         originals: list[AggregatedFlexOffer] = []
-        for gid, update in self.pool.items():
+        # Iterate in group-id order: the pool dict's insertion order depends
+        # on how updates interleaved (and, under sharded ingest, on the hash
+        # partition), but the plan for a given pool must not.
+        for gid in sorted(self.pool):
+            update = self.pool[gid]
             aggregate = update.aggregate
             if (
                 aggregate.latest_start < start
@@ -444,11 +481,10 @@ class BrpRuntimeService:
                         prior[0], aggregate.earliest_start, aggregate.latest_start
                     )
                 )
-                values = np.array(
-                    [
-                        c.clamp(float(v))
-                        for c, v in zip(aggregate.profile, prior[1])
-                    ]
+                values = np.clip(
+                    prior[1],
+                    aggregate.profile.min_array,
+                    aggregate.profile.max_array,
                 )
                 any_warm = True
             else:
@@ -461,28 +497,43 @@ class BrpRuntimeService:
         return CandidateSolution(np.array(starts, dtype=np.int64), energies)
 
     def _disaggregate(self, schedule, originals) -> None:
-        """Map the aggregate schedule back to members; record latencies.
+        """Commit the aggregate schedule to members; record latencies.
 
         ``originals[i]`` is the pool aggregate behind ``schedule``'s ``i``-th
         assignment — identical to the scheduled offer unless the window was
-        clipped, in which case disaggregation must run against the original
-        (member offsets are relative to its unclipped earliest start).
+        clipped (member offsets are relative to the unclipped earliest
+        start).  Only member *start commitments* are derived here: the
+        aggregate's admissible start shift maps to every member as-is
+        (the §4 disaggregation guarantee), and that is all the runtime's
+        lifecycle/commitment tracking consumes per re-plan.  Full per-slice
+        energy disaggregation (:func:`repro.aggregation.disaggregate`)
+        happens at dispatch time, not on every trigger — re-deriving half a
+        million member energy vectors per re-plan was the runtime's single
+        hottest path.  Re-plans whose aggregate object *and* plan are
+        unchanged are skipped outright.
         """
         now = self._now_slice
         latency_sim = self.metrics.histogram("latency.e2e_slices")
         latency_wall = self.metrics.histogram("latency.e2e_wall_seconds")
         members_out = 0
+        skipped = 0
+        cache = self._plan_cache
+        fresh_cache: dict[int, tuple[int, tuple]] = {}
         for assignment, original in zip(schedule, originals):
-            if assignment.offer is not original:
-                assignment = ScheduledFlexOffer(
-                    original, assignment.start, assignment.energies
-                )
-            for member in disaggregate(assignment):
+            plan = (assignment.start, assignment.energies)
+            fresh_cache[original.offer_id] = plan
+            if cache.get(original.offer_id) == plan:
+                # Same aggregate object, same plan: every member's schedule
+                # is identical to the one already committed and recorded.
+                skipped += 1
+                continue
+            delta = assignment.start - original.earliest_start
+            for member in original.members:
                 members_out += 1
-                oid = member.offer.offer_id
+                oid = member.offer_id
                 if oid not in self._live:
                     continue
-                self._committed_start[oid] = member.start
+                self._committed_start[oid] = member.earliest_start + delta
                 if oid in self._scheduled:
                     continue
                 self._scheduled.add(oid)
@@ -492,10 +543,10 @@ class BrpRuntimeService:
                 latency_wall.observe(
                     time.perf_counter() - self._arrival_wall[oid]
                 )
-                self.store.record_offer_event(
-                    member.offer.owner, member.offer, "scheduled", now
-                )
+                self.store.record_offer_event(member.owner, member, "scheduled", now)
+        self._plan_cache = fresh_cache
         self.metrics.counter("disaggregate.assignments").inc(members_out)
+        self.metrics.counter("disaggregate.unchanged_skipped").inc(skipped)
         self.metrics.gauge("schedule.unique_scheduled").set(self._scheduled_total)
 
     # ------------------------------------------------------------------
@@ -686,7 +737,7 @@ class BrpRuntimeService:
             empty_scheduling_runs=counter("schedule.empty_runs"),
             trigger_fires=trigger_fires,
             pool_aggregates=len(self.pool),
-            pool_offers=self.pipeline.input_count,
+            pool_offers=self.ingest.input_count,
             latency_slices_p50=sim.p50,
             latency_slices_p95=sim.p95,
             latency_wall_p50=wall.p50,

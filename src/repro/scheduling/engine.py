@@ -75,8 +75,10 @@ class OfferConstants:
 
     @classmethod
     def from_offer(cls, offer: "FlexOffer", horizon_start: int) -> "OfferConstants":
-        lo = np.asarray(offer.profile.min_energies(), dtype=float)
-        hi = np.asarray(offer.profile.max_energies(), dtype=float)
+        # The profile caches these read-only arrays, so packing an offer into
+        # several problems (or rebuilding a problem) shares the same buffers.
+        lo = offer.profile.min_array
+        hi = offer.profile.max_array
         return cls(
             lo=lo,
             hi=hi,
