@@ -1,67 +1,89 @@
 #!/usr/bin/env python3
-"""Quickstart: the MIRABEL pipeline in 60 lines.
+"""Quickstart: one LEDMS node through the `repro.api` front door.
 
-Creates a handful of flex-offers, aggregates them, schedules the aggregates
-against a net-load forecast with a midday RES surplus, disaggregates the
-schedule back to the individual offers, and prices the flexibility.
+Starts a BRP node behind the :class:`~repro.api.LedmsClient` facade,
+streams a morning of Poisson flex-offer traffic through it, watches plans
+commit via a lifecycle hook, submits/updates/withdraws offers through a
+prosumer session, and finally restarts the node from its store — the same
+request/response surface a deployed MIRABEL node would expose.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro import TimeSeries, flex_offer
-from repro.aggregation import P2, aggregate_from_scratch, disaggregate
-from repro.negotiation import MonetizeFlexibilityPolicy
-from repro.scheduling import Market, RandomizedGreedyScheduler, SchedulingProblem
+from repro.api import LedmsClient
+from repro.api.config import (
+    IngestConfig,
+    SchedulingConfig,
+    ServiceConfig,
+    build_trigger,
+)
+from repro.core import flex_offer
+from repro.runtime import LoadGenerator
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
+    # --- 1. configure and open the node --------------------------------
+    config = ServiceConfig(
+        ingest=IngestConfig(batch_size=32),
+        scheduling=SchedulingConfig(
+            horizon_slices=192,
+            scheduler="greedy",  # any registry scheduler with 'runtime'
+            scheduler_passes=2,
+            trigger=build_trigger(
+                [
+                    {"kind": "count", "threshold": 100},
+                    {"kind": "age", "max_age_slices": 8},
+                ]
+            ),
+        ),
+    )
+    client = LedmsClient(config)
 
-    # --- 1. micro flex-offers: 2 h blocks, shiftable by up to 6 h ---------
-    offers = []
-    for _ in range(200):
-        earliest = int(rng.integers(0, 60))
-        offers.append(
-            flex_offer(
-                [(0.5, 1.5)] * 8,  # 8 × 15-min slices, 0.5-1.5 kWh each
-                earliest_start=earliest,
-                latest_start=earliest + int(rng.integers(0, 25)),
-                unit_price=0.02,
-            )
+    @client.on_plan_committed
+    def report_plan(plan) -> None:
+        print(
+            f"  plan @ t={plan.at:6.1f}: {plan.aggregates} aggregates, "
+            f"cost {plan.cost:,.1f} EUR"
         )
 
-    # --- 2. aggregation: group similar offers into macro flex-offers ------
-    aggregates = aggregate_from_scratch(offers, P2)
-    print(f"aggregated {len(offers)} micro offers -> {len(aggregates)} macro offers")
-
-    # --- 3. scheduling against a forecast with a midday wind surplus ------
-    t = np.arange(96)
-    net_forecast = 120.0 - 400.0 * np.exp(-0.5 * ((t - 48) / 8.0) ** 2)
-    market = Market(
-        np.full(96, 0.20), np.full(96, 0.05), max_sell=np.full(96, 20.0)
-    )
-    problem = SchedulingProblem(TimeSeries(0, net_forecast), tuple(aggregates), market)
-
-    baseline_cost = problem.cost(problem.minimum_solution())
-    result = RandomizedGreedyScheduler().schedule(problem, max_passes=10, rng=rng)
-    print(f"schedule cost: {result.cost:,.1f} EUR (naive baseline {baseline_cost:,.1f} EUR)")
-
-    # --- 4. disaggregation: every micro offer gets its own schedule -------
-    schedule = problem.to_schedule(result.solution)
-    micro_schedules = [m for agg in schedule for m in disaggregate(agg)]
-    print(f"disaggregated into {len(micro_schedules)} micro schedules")
-    sample = micro_schedules[0]
+    # --- 2. stream half a day of Poisson traffic ------------------------
+    generator = LoadGenerator(rate_per_hour=60, seed=7)
+    report = client.run_stream(generator.stream(0, 48), 48)
     print(
-        f"  e.g. offer {sample.offer.offer_id}: start slice {sample.start}, "
-        f"total {sample.total_energy:.2f} kWh"
+        f"streamed {report.offers_accepted} offers -> "
+        f"{report.offers_scheduled} scheduled "
+        f"({report.offers_per_second:.0f} offers/sec wall)"
     )
 
-    # --- 5. negotiation: what is that flexibility worth? -------------------
-    pricing = MonetizeFlexibilityPolicy()
-    value = sum(pricing.value(o, now=0) for o in offers)
-    print(f"total ex-ante flexibility value: {value:.1f} EUR across {len(offers)} offers")
+    # --- 3. request/response: submit, inspect, update, withdraw ---------
+    session = client.session("prosumer-42")
+    result = session.submit(
+        flex_offer([(0.5, 1.5)] * 8, earliest_start=60, latest_start=84)
+    )
+    print(f"submitted offer {result.offer_id}: accepted={result.accepted}")
+
+    revised = flex_offer(
+        [(0.5, 2.0)] * 8, earliest_start=64, latest_start=84,
+        offer_id=result.offer_id,
+    )
+    session.update(revised)
+    plan = client.schedule_now()
+    view = client.query_offer(result.offer_id)
+    print(
+        f"offer {view.offer_id}: state={view.state} "
+        f"committed_start={view.committed_start} (plan cost {plan.cost:,.1f})"
+    )
+    session.withdraw(result.offer_id)
+    print(f"after withdraw: state={client.query_offer(result.offer_id).state}")
+
+    # --- 4. restart: rebuild the live pool from the store ----------------
+    resumed = LedmsClient.resume(client.store, config)
+    print(
+        f"resumed node at t={resumed.now:g} with "
+        f"{resumed.live_offers} live offers"
+    )
+    resumed.schedule_now()
+    print(f"metrics: {int(resumed.metrics()['schedule.runs'])} scheduling runs")
 
 
 if __name__ == "__main__":

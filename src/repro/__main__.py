@@ -10,9 +10,15 @@ Usage::
 
     python -m repro loadtest --rate 50 --duration 600 --seed 42
     python -m repro serve --rate 20 --duration 2880 --report-every 96
+    python -m repro serve --driver wallclock --slices-per-second 8 --duration 96
+    python -m repro loadtest --config run.json --seed 7   # flags beat the file
+
+Engine/scheduler/driver names are resolved through the
+:mod:`repro.api.registry`; unknown names exit ``2`` with the known set.
 
 Exit codes: ``0`` success, ``1`` an experiment raised, ``2`` unknown
-experiment name (argparse usage errors also exit ``2``).
+experiment/engine/driver name or bad config file (argparse usage errors
+also exit ``2``).
 """
 
 from __future__ import annotations
@@ -101,7 +107,15 @@ def _runtime_parser(command: str) -> argparse.ArgumentParser:
         prog=f"python -m repro {command}",
         description=(
             "Run the event-driven BRP runtime against a Poisson flex-offer "
-            "stream (simulated time; deterministic for a fixed seed)."
+            "stream (simulated time by default — deterministic for a fixed "
+            "seed — or real time via --driver wallclock)."
+        ),
+    )
+    parser.add_argument(
+        "--config", metavar="FILE.json", default=None,
+        help=(
+            "JSON file of defaults for any of these flags (keys are the "
+            "flag names with '-' as '_'); explicit flags win over the file"
         ),
     )
     parser.add_argument(
@@ -145,8 +159,23 @@ def _runtime_parser(command: str) -> argparse.ArgumentParser:
         help="ingest pipelines the stream is hash-partitioned over",
     )
     parser.add_argument(
-        "--engine", choices=("packed", "scalar"), default="packed",
-        help="aggregation engine (columnar 'packed' or object 'scalar')",
+        "--engine", default="packed",
+        help="aggregation engine, by registry name (see repro.api.registry)",
+    )
+    parser.add_argument(
+        "--scheduler", default="greedy",
+        help="scheduling engine, by registry name (needs the 'runtime' "
+        "capability)",
+    )
+    parser.add_argument(
+        "--driver", default="simulated",
+        help="time driver, by registry name: 'simulated' (deterministic) "
+        "or 'wallclock' (real time)",
+    )
+    parser.add_argument(
+        "--slices-per-second", type=float, default=4.0,
+        help="wallclock driver pacing: slice units per wall second "
+        "(ignored for --driver simulated)",
     )
     parser.add_argument(
         "--metrics", action="store_true",
@@ -160,48 +189,130 @@ def _runtime_parser(command: str) -> argparse.ArgumentParser:
     return parser
 
 
-def _run_runtime(command: str, argv: list[str]) -> int:
-    from .runtime import (
-        AgeTrigger,
-        AnyTrigger,
-        BrpRuntimeService,
-        CountTrigger,
-        ImbalanceTrigger,
-        LoadGenerator,
-        RuntimeConfig,
-    )
+def _load_config_file(
+    parser: argparse.ArgumentParser, command: str, argv: list[str]
+) -> str | None:
+    """Fold ``--config FILE.json`` values into the parser's defaults.
 
-    from .core.errors import ServiceError
+    File values become argparse *defaults*, so flags given explicitly on
+    the command line always win.  Unknown keys are an error (exit 2), with
+    the known flag set in the message.  Returns an error string instead of
+    raising so the caller owns the exit path.
+    """
+    probe = argparse.ArgumentParser(add_help=False)
+    probe.add_argument("--config", default=None)
+    args, _ = probe.parse_known_args(argv)
+    if args.config is None:
+        return None
+    import json
 
-    args = _runtime_parser(command).parse_args(argv)
+    known = {
+        action.dest
+        for action in parser._actions
+        if action.dest not in ("help", "config")
+    }
     try:
-        config = RuntimeConfig(
-            batch_size=args.batch,
-            horizon_slices=args.horizon,
-            scheduler_passes=args.passes,
-            trigger=AnyTrigger(
-                [
-                    CountTrigger(args.trigger_count),
-                    AgeTrigger(args.trigger_age),
-                    ImbalanceTrigger(args.trigger_imbalance),
-                ]
-            ),
-            min_run_interval_slices=args.min_run_interval,
-            seed=args.seed,
-            engine=args.engine,
-            shards=args.shards,
+        with open(args.config) as handle:
+            values = json.load(handle)
+    except OSError as exc:
+        return f"cannot read --config file: {exc}"
+    except json.JSONDecodeError as exc:
+        return f"--config file is not valid JSON: {exc}"
+    if not isinstance(values, dict):
+        return "--config file must hold a JSON object of flag values"
+    values = {key.replace("-", "_"): value for key, value in values.items()}
+    unknown = sorted(set(values) - known)
+    if unknown:
+        return (
+            f"unknown {command} config keys {', '.join(map(repr, unknown))}; "
+            f"known keys: {', '.join(sorted(known))}"
         )
-        service = BrpRuntimeService(config)
+    parser.set_defaults(**values)
+    return None
+
+
+def _run_runtime(command: str, argv: list[str]) -> int:
+    from .api import (
+        KIND_AGGREGATION,
+        KIND_DRIVER,
+        KIND_SCHEDULER,
+        LedmsClient,
+        default_registry,
+    )
+    from .api.config import (
+        AggregationConfig,
+        IngestConfig,
+        SchedulingConfig,
+        ServiceConfig,
+        build_trigger,
+    )
+    from .core.errors import ServiceError
+    from .runtime import LoadGenerator
+
+    parser = _runtime_parser(command)
+    error = _load_config_file(parser, command, argv)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_UNKNOWN_EXPERIMENT
+    args = parser.parse_args(argv)
+
+    # Engine/scheduler/driver names are validated against the registry so
+    # the rejection message always carries the currently-known name set.
+    registry = default_registry()
+    for kind, name in (
+        (KIND_AGGREGATION, args.engine),
+        (KIND_SCHEDULER, args.scheduler),
+        (KIND_DRIVER, args.driver),
+    ):
+        if not registry.has(kind, name):
+            known = ", ".join(registry.names(kind)) or "<none>"
+            print(
+                f"error: unknown {kind} {name!r}; known {kind} names: {known}",
+                file=sys.stderr,
+            )
+            return EXIT_UNKNOWN_EXPERIMENT
+
+    try:
+        config = ServiceConfig(
+            aggregation=AggregationConfig(
+                engine=args.engine, shards=args.shards
+            ),
+            scheduling=SchedulingConfig(
+                horizon_slices=args.horizon,
+                scheduler=args.scheduler,
+                scheduler_passes=args.passes,
+                trigger=build_trigger(
+                    [
+                        {"kind": "count", "threshold": args.trigger_count},
+                        {"kind": "age", "max_age_slices": args.trigger_age},
+                        {
+                            "kind": "imbalance",
+                            "threshold_kwh": args.trigger_imbalance,
+                        },
+                    ]
+                ),
+                min_run_interval_slices=args.min_run_interval,
+                seed=args.seed,
+            ),
+            ingest=IngestConfig(batch_size=args.batch),
+        )
+        driver_kwargs = (
+            {"slices_per_second": args.slices_per_second}
+            if args.driver == "wallclock"
+            else {}
+        )
+        driver = registry.create(KIND_DRIVER, args.driver, **driver_kwargs)
+        client = LedmsClient(config, driver=driver)
         generator = LoadGenerator(rate_per_hour=args.rate, seed=args.seed)
     except ServiceError as exc:
         print(f"error: invalid {command} configuration: {exc}", file=sys.stderr)
         return EXIT_UNKNOWN_EXPERIMENT
     print(
         f"### {command}: rate={args.rate}/h duration={args.duration} slices "
-        f"seed={args.seed}"
+        f"seed={args.seed} driver={args.driver}"
     )
     try:
-        report = service.run_stream(
+        report = client.run_stream(
             generator.stream(0.0, args.duration),
             args.duration,
             report_every=getattr(args, "report_every", None),
@@ -212,7 +323,7 @@ def _run_runtime(command: str, argv: list[str]) -> int:
     print(report.as_text())
     if args.metrics:
         print()
-        print(service.metrics.render())
+        print(client.service.metrics.render())
     return EXIT_OK
 
 

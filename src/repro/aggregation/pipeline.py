@@ -24,7 +24,10 @@ from .updates import AggregateUpdate, FlexOfferUpdate
 
 __all__ = ["AggregationPipeline", "aggregate_from_scratch", "make_pipeline"]
 
-#: Engines accepted by :func:`make_pipeline`.
+#: Built-in engine names, kept for backward compatibility; the source of
+#: truth is the ``aggregation`` kind of :func:`repro.api.default_registry`
+#: (which :func:`make_pipeline` consults, so additional registered engines
+#: are constructible here too).
 PIPELINE_ENGINES = ("packed", "scalar", "reference")
 
 
@@ -34,29 +37,27 @@ def make_pipeline(
     *,
     engine: str = "scalar",
 ):
-    """Build an aggregation pipeline for the requested engine.
+    """Build an aggregation pipeline for the requested registry engine.
 
     ``"packed"`` is the columnar engine
     (:class:`~repro.aggregation.engine.PackedAggregationPipeline`, the
     runtime default), ``"scalar"`` the live object pipeline, and
     ``"reference"`` the scalar pipeline over the historical
     rebuild-on-remove group state (oracle and benchmark baseline).  All
-    three expose the same submit/run/aggregates interface.
+    engines expose the same submit/run/aggregates interface.  The name is
+    resolved through :func:`repro.api.default_registry`, the same catalogue
+    the runtime configuration validates against, so the two accepted sets
+    cannot diverge.
     """
-    if engine == "packed":
-        from .engine import PackedAggregationPipeline
+    # Imported lazily: the registry lives in the api layer above this one.
+    from ..api.registry import KIND_AGGREGATION, RegistryError, default_registry
 
-        return PackedAggregationPipeline(parameters, bounds)
-    if engine in ("scalar", "reference"):
-        pipeline = AggregationPipeline(parameters, bounds)
-        if engine == "reference":
-            from .reference import ReferenceAggregator
-
-            pipeline.aggregator = ReferenceAggregator()
-        return pipeline
-    raise AggregationError(
-        f"unknown aggregation engine {engine!r}; expected one of {PIPELINE_ENGINES}"
-    )
+    try:
+        return default_registry().create(
+            KIND_AGGREGATION, engine, parameters, bounds
+        )
+    except RegistryError as exc:
+        raise AggregationError(str(exc)) from exc
 
 
 @contextmanager

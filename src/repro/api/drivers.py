@@ -1,0 +1,12 @@
+"""Time drivers, re-exported at the api layer.
+
+The implementations live in :mod:`repro.runtime.drivers` (the service loop
+depends on them directly); this module is their canonical public import
+path::
+
+    from repro.api.drivers import SimulatedDriver, WallClockDriver
+"""
+
+from ..runtime.drivers import SimulatedDriver, TimeDriver, WallClockDriver
+
+__all__ = ["SimulatedDriver", "TimeDriver", "WallClockDriver"]

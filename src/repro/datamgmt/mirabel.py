@@ -25,7 +25,12 @@ from ..core.timeseries import TimeSeries
 from .schema import DimensionTable, FactTable, StarSchema
 from .table import Column
 
-__all__ = ["build_mirabel_schema", "LedmsStore", "OFFER_STATES"]
+__all__ = [
+    "build_mirabel_schema",
+    "LedmsStore",
+    "LIVE_OFFER_STATES",
+    "OFFER_STATES",
+]
 
 #: Flex-offer lifecycle states tracked by the store.
 OFFER_STATES = (
@@ -36,7 +41,13 @@ OFFER_STATES = (
     "scheduled",
     "executed",
     "expired",
+    "withdrawn",
 )
+
+#: States in which an offer is still part of the live pool (not terminal,
+#: not merely submitted): the set :meth:`LedmsStore.live_offers` rebuilds
+#: a restarted service from.
+LIVE_OFFER_STATES = frozenset({"accepted", "aggregated", "scheduled"})
 
 
 def build_mirabel_schema() -> StarSchema:
@@ -132,6 +143,10 @@ class LedmsStore:
         self._energy_type_ids: dict[str, int] = {}
         self._known_times: set[int] = set()
         self._offer_states: dict[int, str] = {}
+        self._offers: dict[int, FlexOffer] = {}
+        self._offer_owners: dict[int, str] = {}
+        self._last_event_time = 0
+        self._subscribers: list = []
 
     # ------------------------------------------------------------------
     # dimension management
@@ -296,10 +311,63 @@ class LedmsStore:
             },
         )
         self._offer_states[offer.offer_id] = state
+        if state in LIVE_OFFER_STATES or state == "submitted":
+            self._offers[offer.offer_id] = offer
+        else:
+            # Terminal (or rejected) offers keep their audit trail in the
+            # fact table and the state map, but the object — with its
+            # profile arrays — is dropped so a long stream cannot grow the
+            # store without bound.
+            self._offers.pop(offer.offer_id, None)
+        self._offer_owners[offer.offer_id] = actor
+        self._last_event_time = max(self._last_event_time, now)
+        for callback in self._subscribers:
+            callback(offer.offer_id, state, now)
+
+    def subscribe(self, callback) -> None:
+        """Register ``callback(offer_id, state, now)`` for lifecycle events.
+
+        Callbacks fire synchronously after each recorded transition — the
+        facade's ``on_offer_state_change`` hook attaches here.
+        """
+        self._subscribers.append(callback)
 
     def offer_state(self, offer_id: int) -> str | None:
         """Latest recorded state of an offer (None if never seen)."""
         return self._offer_states.get(offer_id)
+
+    def offer(self, offer_id: int) -> FlexOffer | None:
+        """The retained object of a *live* offer (None if unseen/retired).
+
+        After admission this is the *accepted* (window-clipped) offer — the
+        exact object a restarted service must re-admit.  Objects of offers
+        in terminal states are evicted (their lifecycle stays queryable via
+        :meth:`offer_state` and the fact table).
+        """
+        return self._offers.get(offer_id)
+
+    def offer_owner(self, offer_id: int) -> str | None:
+        """The actor a lifecycle event was last recorded for (None if unseen)."""
+        return self._offer_owners.get(offer_id)
+
+    @property
+    def last_event_time(self) -> int:
+        """Largest ``now`` any lifecycle event was recorded at (0 if none)."""
+        return self._last_event_time
+
+    def live_offers(self) -> list[FlexOffer]:
+        """Offers whose latest state is live, sorted by offer id.
+
+        These are the offers a restarted service re-admits to rebuild its
+        pool (:meth:`repro.api.LedmsClient.resume`): accepted or aggregated
+        offers plus scheduled-but-not-yet-executed ones.  Terminal states
+        (``executed``/``expired``/``rejected``/``withdrawn``) stay out.
+        """
+        return [
+            self._offers[oid]
+            for oid in sorted(self._offer_states)
+            if self._offer_states[oid] in LIVE_OFFER_STATES
+        ]
 
     def offers_in_state(self, state: str) -> list[int]:
         """Offer ids currently in ``state``."""

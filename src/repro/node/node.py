@@ -26,12 +26,27 @@ from ..core.timebase import TimeAxis
 from ..core.timeseries import TimeSeries
 from ..datamgmt import LedmsStore
 from ..negotiation import AcceptancePolicy, Negotiator
-from ..scheduling import Market, RandomizedGreedyScheduler, SchedulingProblem
+from ..scheduling import Market, SchedulingProblem
 from .bus import MessageBus
 from .devices import Device
 from .messages import Message, MessageType
 
 __all__ = ["LedmsNode", "ProsumerNode", "BrpNode", "TsoNode"]
+
+
+def _make_scheduler(name: str):
+    """Resolve a scheduler by registry name (the BRP/TSO planning path).
+
+    Node-tier planning is pass-bounded and warm-startable, so the chosen
+    scheduler must declare the same ``runtime`` capability the streaming
+    service requires — one check, owned by the registry.  Imported lazily:
+    the registry lives in the api layer.
+    """
+    from ..api.registry import KIND_SCHEDULER, default_registry
+
+    return default_registry().create_with_capability(
+        KIND_SCHEDULER, name, "runtime"
+    )
 
 
 class LedmsNode:
@@ -205,6 +220,7 @@ class BrpNode(LedmsNode):
         res_supply: TimeSeries | None = None,
         forecast_noise: float = 0.03,
         scheduler_passes: int = 3,
+        scheduler: str = "greedy",
     ):
         super().__init__(name, "brp", axis, bus)
         self.aggregation_parameters = aggregation_parameters
@@ -213,6 +229,7 @@ class BrpNode(LedmsNode):
         self.res_supply = res_supply
         self.forecast_noise = forecast_noise
         self.scheduler_passes = scheduler_passes
+        self.scheduler = _make_scheduler(scheduler)
         self.offers: dict[int, FlexOffer] = {}
         self.offer_owners: dict[int, str] = {}
         self.baselines: dict[str, TimeSeries] = {}
@@ -321,7 +338,7 @@ class BrpNode(LedmsNode):
         if not aggregates:
             return
         problem = self.build_problem(aggregates, horizon_start, horizon, rng)
-        result = RandomizedGreedyScheduler().schedule(
+        result = self.scheduler.schedule(
             problem, max_passes=self.scheduler_passes, rng=rng
         )
         self.result.schedule_cost = result.cost
@@ -365,10 +382,12 @@ class TsoNode(LedmsNode):
         *,
         aggregation_parameters: AggregationParameters,
         scheduler_passes: int = 3,
+        scheduler: str = "greedy",
     ):
         super().__init__(name, "tso", axis, bus)
         self.aggregation_parameters = aggregation_parameters
         self.scheduler_passes = scheduler_passes
+        self.scheduler = _make_scheduler(scheduler)
         self.macros: dict[int, AggregatedFlexOffer] = {}
         self.macro_senders: dict[int, str] = {}
         self.schedule_cost = float("nan")
@@ -409,7 +428,7 @@ class TsoNode(LedmsNode):
             max_sell=np.full(horizon, 1.0),
         )
         problem = SchedulingProblem(net_forecast, tuple(super_aggregates), market)
-        result = RandomizedGreedyScheduler().schedule(
+        result = self.scheduler.schedule(
             problem, max_passes=self.scheduler_passes, rng=rng
         )
         self.schedule_cost = result.cost

@@ -4,14 +4,17 @@ The paper's aggregation component is explicitly incremental — it "accepts a
 set of flex-offer updates … and produces a set of aggregated flex-offer
 updates" (§4).  This package provides the *online* runtime that exercises
 that design the way a deployed MIRABEL BRP node would: a continuous stream
-of offer arrivals over simulated time, incremental aggregate maintenance,
+of offer arrivals over a pluggable time driver (deterministic simulation by
+default, wall clock on request), incremental aggregate maintenance,
 trigger-driven scheduling with warm starts, lifecycle persistence in the
 LEDMS store, and operational metrics end to end.
 
-Public API::
+Most callers should go through the typed facade in :mod:`repro.api`
+(:class:`~repro.api.LedmsClient`); this package remains the engine room::
 
     from repro.runtime import (
-        BrpRuntimeService, RuntimeConfig, RuntimeReport,
+        BrpRuntimeService, ServiceConfig, RuntimeConfig, RuntimeReport,
+        TimeDriver, SimulatedDriver, WallClockDriver,
         EventQueue, SimulatedClock,
         FlexOfferIngest, ShardedFlexOfferIngest, LoadGenerator, MetricsRegistry,
         TriggerContext, CountTrigger, AgeTrigger, ImbalanceTrigger, AnyTrigger,
@@ -19,10 +22,19 @@ Public API::
 """
 
 from .clock import ClockError, EventQueue, SimulatedClock
+from .config import (
+    AggregationConfig,
+    IngestConfig,
+    MarketConfig,
+    RuntimeConfig,
+    SchedulingConfig,
+    ServiceConfig,
+)
+from .drivers import SimulatedDriver, TimeDriver, WallClockDriver
 from .ingest import FlexOfferIngest
 from .loadgen import LoadGenerator
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .service import BrpRuntimeService, RuntimeConfig, RuntimeReport
+from .service import BrpRuntimeService, RuntimeReport
 from .sharding import ShardedFlexOfferIngest
 from .triggers import (
     AgeTrigger,
@@ -35,6 +47,7 @@ from .triggers import (
 
 __all__ = [
     "AgeTrigger",
+    "AggregationConfig",
     "AnyTrigger",
     "BrpRuntimeService",
     "ClockError",
@@ -45,12 +58,19 @@ __all__ = [
     "Gauge",
     "Histogram",
     "ImbalanceTrigger",
+    "IngestConfig",
     "LoadGenerator",
+    "MarketConfig",
     "MetricsRegistry",
     "RuntimeConfig",
     "RuntimeReport",
+    "SchedulingConfig",
+    "ServiceConfig",
     "ShardedFlexOfferIngest",
     "SimulatedClock",
+    "SimulatedDriver",
+    "TimeDriver",
     "TriggerContext",
     "TriggerPolicy",
+    "WallClockDriver",
 ]

@@ -1,0 +1,443 @@
+"""Composable runtime configuration: market, aggregation, scheduling, ingest.
+
+The original ``RuntimeConfig`` was one flat bag of fifteen knobs; the knobs
+actually belong to four different layers of the stack, and every layer grew
+its own validation.  This module splits the configuration along those
+seams:
+
+* :class:`MarketConfig` — prices and imbalance penalties the scheduler
+  prices residuals against;
+* :class:`AggregationConfig` — grouping thresholds, the aggregation engine
+  (validated against the :mod:`repro.api.registry`), and ingest sharding;
+* :class:`SchedulingConfig` — horizon, scheduler (by registry name),
+  passes, trigger policy, cadence and seed;
+* :class:`IngestConfig` — admission batching and expiry sweeping.
+
+:class:`ServiceConfig` composes the four (plus the time axis) and exposes
+*flat read-only properties* under the historical names, so the service loop
+and existing call sites read ``config.batch_size`` regardless of which
+style constructed it.  The old flat constructor survives as the
+:class:`RuntimeConfig` shim, which emits a :class:`DeprecationWarning` and
+builds the composed form.
+
+Engine, scheduler and trigger names are resolved through
+:func:`repro.api.default_registry`, so the set of valid names is defined in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from ..aggregation.thresholds import AggregationParameters
+from ..api.registry import (
+    KIND_AGGREGATION,
+    KIND_SCHEDULER,
+    KIND_TRIGGER,
+    default_registry,
+)
+from ..core.errors import ServiceError
+from ..core.timebase import DEFAULT_AXIS, TimeAxis
+from .triggers import AgeTrigger, AnyTrigger, CountTrigger, ImbalanceTrigger, TriggerPolicy
+
+__all__ = [
+    "AggregationConfig",
+    "IngestConfig",
+    "MarketConfig",
+    "RuntimeConfig",
+    "SchedulingConfig",
+    "ServiceConfig",
+]
+
+
+def _runtime_parameters() -> AggregationParameters:
+    return AggregationParameters(
+        start_after_tolerance=8, time_flexibility_tolerance=8, name="runtime"
+    )
+
+
+def default_trigger() -> TriggerPolicy:
+    """Count for throughput, age for latency, imbalance for burst risk.
+
+    Thresholds match the ``loadtest``/``serve`` CLI defaults so library and
+    CLI runs behave identically out of the box.
+    """
+    return AnyTrigger(
+        [CountTrigger(200), AgeTrigger(16), ImbalanceTrigger(2_000.0)]
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MarketConfig:
+    """Flat market prices and imbalance penalties (EUR/kWh)."""
+
+    buy_price: float = 0.20
+    sell_price: float = 0.05
+    shortage_penalty: float = 0.5
+    surplus_penalty: float = 0.2
+
+
+@dataclass(frozen=True)
+class AggregationConfig:
+    """Grouping thresholds, engine selection and ingest sharding."""
+
+    parameters: AggregationParameters = field(
+        default_factory=_runtime_parameters
+    )
+    engine: str = "packed"
+    """Aggregation engine, by :mod:`repro.api.registry` name."""
+    shards: int = 1
+    """Ingest pipelines the stream is partitioned over (by group-cell hash)."""
+
+    def __post_init__(self) -> None:
+        registry = default_registry()
+        if not registry.has(KIND_AGGREGATION, self.engine):
+            registry.get(KIND_AGGREGATION, self.engine)  # raises with names
+        if self.shards <= 0:
+            raise ServiceError("shards must be positive")
+
+
+@dataclass(frozen=True)
+class SchedulingConfig:
+    """Horizon, scheduler, trigger policy and re-planning cadence."""
+
+    horizon_slices: int = 192
+    """Rolling planning horizon (2 days on the 15-min axis)."""
+    scheduler: str = "greedy"
+    """Scheduler, by registry name; must declare the ``runtime`` capability."""
+    scheduler_passes: int = 2
+    """Greedy passes per scheduling run (the warm start adds one evaluation)."""
+    trigger: TriggerPolicy = field(default_factory=default_trigger)
+    min_run_interval_slices: float = 1.0
+    """Cooldown between scheduling runs, bounding trigger thrash."""
+    seed: int = 0
+    """Seed of the scheduler RNG (the load generator has its own)."""
+
+    def __post_init__(self) -> None:
+        if self.horizon_slices <= 0:
+            raise ServiceError("horizon_slices must be positive")
+        if self.scheduler_passes <= 0:
+            raise ServiceError("scheduler_passes must be positive")
+        # RegistryError is a ServiceError; the registry owns the single
+        # copy of the capability check and its message.
+        default_registry().require_capability(
+            KIND_SCHEDULER, self.scheduler, "runtime"
+        )
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Admission batching and expiry sweeping."""
+
+    batch_size: int = 64
+    """Pending flex-offer updates that trigger an incremental pipeline run."""
+    expiry_sweep_interval: float = 4.0
+    """Simulated slices between sweeps retiring closed-window offers."""
+    max_duration_slices: int | None = None
+    """Admission limit on profile length (None = unlimited)."""
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ServiceError("batch_size must be positive")
+        if self.expiry_sweep_interval <= 0:
+            raise ServiceError("expiry_sweep_interval must be positive")
+        if (
+            self.max_duration_slices is not None
+            and self.max_duration_slices <= 0
+        ):
+            raise ServiceError("max_duration_slices must be positive")
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceConfig:
+    """The composed configuration of one streaming BRP service."""
+
+    axis: TimeAxis = DEFAULT_AXIS
+    market: MarketConfig = field(default_factory=MarketConfig)
+    aggregation: AggregationConfig = field(default_factory=AggregationConfig)
+    scheduling: SchedulingConfig = field(default_factory=SchedulingConfig)
+    ingest: IngestConfig = field(default_factory=IngestConfig)
+
+    # -- flat views under the historical names --------------------------
+    @property
+    def aggregation_parameters(self) -> AggregationParameters:
+        return self.aggregation.parameters
+
+    @property
+    def engine(self) -> str:
+        return self.aggregation.engine
+
+    @property
+    def shards(self) -> int:
+        return self.aggregation.shards
+
+    @property
+    def horizon_slices(self) -> int:
+        return self.scheduling.horizon_slices
+
+    @property
+    def scheduler(self) -> str:
+        return self.scheduling.scheduler
+
+    @property
+    def scheduler_passes(self) -> int:
+        return self.scheduling.scheduler_passes
+
+    @property
+    def trigger(self) -> TriggerPolicy:
+        return self.scheduling.trigger
+
+    @property
+    def min_run_interval_slices(self) -> float:
+        return self.scheduling.min_run_interval_slices
+
+    @property
+    def seed(self) -> int:
+        return self.scheduling.seed
+
+    @property
+    def buy_price(self) -> float:
+        return self.market.buy_price
+
+    @property
+    def sell_price(self) -> float:
+        return self.market.sell_price
+
+    @property
+    def shortage_penalty(self) -> float:
+        return self.market.shortage_penalty
+
+    @property
+    def surplus_penalty(self) -> float:
+        return self.market.surplus_penalty
+
+    @property
+    def batch_size(self) -> int:
+        return self.ingest.batch_size
+
+    @property
+    def expiry_sweep_interval(self) -> float:
+        return self.ingest.expiry_sweep_interval
+
+    @property
+    def max_duration_slices(self) -> int | None:
+        return self.ingest.max_duration_slices
+
+    # -------------------------------------------------------------------
+    _FLAT_FIELDS = {
+        "aggregation_parameters": ("aggregation", "parameters"),
+        "engine": ("aggregation", "engine"),
+        "shards": ("aggregation", "shards"),
+        "horizon_slices": ("scheduling", "horizon_slices"),
+        "scheduler": ("scheduling", "scheduler"),
+        "scheduler_passes": ("scheduling", "scheduler_passes"),
+        "trigger": ("scheduling", "trigger"),
+        "min_run_interval_slices": ("scheduling", "min_run_interval_slices"),
+        "seed": ("scheduling", "seed"),
+        "buy_price": ("market", "buy_price"),
+        "sell_price": ("market", "sell_price"),
+        "shortage_penalty": ("market", "shortage_penalty"),
+        "surplus_penalty": ("market", "surplus_penalty"),
+        "batch_size": ("ingest", "batch_size"),
+        "expiry_sweep_interval": ("ingest", "expiry_sweep_interval"),
+        "max_duration_slices": ("ingest", "max_duration_slices"),
+    }
+
+    @classmethod
+    def from_flat(cls, *, axis: TimeAxis = DEFAULT_AXIS, **flat) -> "ServiceConfig":
+        """Build a composed config from historical flat keyword names."""
+        grouped: dict[str, dict[str, Any]] = {
+            "market": {}, "aggregation": {}, "scheduling": {}, "ingest": {}
+        }
+        for key, value in flat.items():
+            target = cls._FLAT_FIELDS.get(key)
+            if target is None:
+                raise ServiceError(
+                    f"unknown runtime configuration field {key!r}; known "
+                    f"fields: {', '.join(sorted(cls._FLAT_FIELDS))}"
+                )
+            section, name = target
+            grouped[section][name] = value
+        return cls(
+            axis=axis,
+            market=MarketConfig(**grouped["market"]),
+            aggregation=AggregationConfig(**grouped["aggregation"]),
+            scheduling=SchedulingConfig(**grouped["scheduling"]),
+            ingest=IngestConfig(**grouped["ingest"]),
+        )
+
+    def merged(self, **flat) -> "ServiceConfig":
+        """A copy with flat-named overrides applied (explicit values win)."""
+        sections: dict[str, dict[str, Any]] = {}
+        axis = flat.pop("axis", self.axis)
+        for key, value in flat.items():
+            target = self._FLAT_FIELDS.get(key)
+            if target is None:
+                raise ServiceError(
+                    f"unknown runtime configuration field {key!r}; known "
+                    f"fields: {', '.join(sorted(self._FLAT_FIELDS))}"
+                )
+            section, name = target
+            sections.setdefault(section, {})[name] = value
+        updates = {
+            section: replace(getattr(self, section), **values)
+            for section, values in sections.items()
+        }
+        return ServiceConfig(
+            axis=axis,
+            market=updates.get("market", self.market),
+            aggregation=updates.get("aggregation", self.aggregation),
+            scheduling=updates.get("scheduling", self.scheduling),
+            ingest=updates.get("ingest", self.ingest),
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceConfig":
+        """Build a config from a JSON-style mapping.
+
+        Accepts nested sections (``{"scheduling": {"horizon_slices": 96}}``)
+        and/or historical flat keys at the top level.  A trigger is given as
+        a registry spec — one mapping or a list of mappings with a ``kind``
+        key, combined with the ``any`` composite::
+
+            {"scheduling": {"trigger": [
+                {"kind": "count", "threshold": 200},
+                {"kind": "age", "max_age_slices": 16}
+            ]}}
+        """
+        sections = ("market", "aggregation", "scheduling", "ingest")
+        flat: dict[str, Any] = {}
+        nested: dict[str, dict[str, Any]] = {}
+        for key, value in data.items():
+            if key in sections:
+                if not isinstance(value, Mapping):
+                    raise ServiceError(
+                        f"config section {key!r} must be a mapping"
+                    )
+                nested[key] = dict(value)
+            elif key == "axis":
+                raise ServiceError(
+                    "the time axis cannot be configured from a dict; pass "
+                    "axis= to ServiceConfig directly"
+                )
+            else:
+                flat[key] = value
+        trigger_spec = nested.get("scheduling", {}).pop("trigger", None)
+        if trigger_spec is None:
+            trigger_spec = flat.pop("trigger", None)
+        config = cls.from_flat(**flat)
+        section_updates = {
+            section: replace(getattr(config, section), **values)
+            for section, values in nested.items()
+            if values
+        }
+        config = ServiceConfig(
+            axis=config.axis,
+            market=section_updates.get("market", config.market),
+            aggregation=section_updates.get("aggregation", config.aggregation),
+            scheduling=section_updates.get("scheduling", config.scheduling),
+            ingest=section_updates.get("ingest", config.ingest),
+        )
+        if trigger_spec is not None:
+            config = config.merged(trigger=build_trigger(trigger_spec))
+        return config
+
+
+def build_trigger(spec: Any) -> TriggerPolicy:
+    """Instantiate a trigger policy from a registry-name spec.
+
+    ``spec`` is one mapping (``{"kind": "count", "threshold": 200}``) or a
+    list of them (combined with the ``any`` composite).  Already-built
+    policies pass through untouched.
+    """
+    if isinstance(spec, TriggerPolicy) and not isinstance(spec, Mapping):
+        return spec
+    registry = default_registry()
+    if isinstance(spec, Mapping):
+        spec = [spec]
+    if not isinstance(spec, (list, tuple)) or not spec:
+        raise ServiceError(
+            "trigger spec must be a mapping or a non-empty list of mappings"
+        )
+    policies = []
+    for item in spec:
+        if not isinstance(item, Mapping) or "kind" not in item:
+            raise ServiceError(
+                f"trigger spec entries need a 'kind' key, got {item!r}"
+            )
+        kwargs = {k: v for k, v in item.items() if k != "kind"}
+        policies.append(registry.create(KIND_TRIGGER, item["kind"], **kwargs))
+    if len(policies) == 1:
+        return policies[0]
+    return registry.create(KIND_TRIGGER, "any", policies)
+
+
+# ----------------------------------------------------------------------
+class RuntimeConfig(ServiceConfig):
+    """Deprecated flat constructor kept for backward compatibility.
+
+    ``RuntimeConfig(batch_size=8, horizon_slices=96, ...)`` still works —
+    it builds the composed :class:`ServiceConfig` form and emits a
+    :class:`DeprecationWarning`.  New code should construct
+    :class:`ServiceConfig` (or its sections) directly, or use
+    :meth:`ServiceConfig.from_flat`.
+    """
+
+    def __init__(
+        self,
+        axis: TimeAxis = DEFAULT_AXIS,
+        aggregation_parameters: AggregationParameters | None = None,
+        batch_size: int = 64,
+        horizon_slices: int = 192,
+        scheduler_passes: int = 2,
+        buy_price: float = 0.20,
+        sell_price: float = 0.05,
+        shortage_penalty: float = 0.5,
+        surplus_penalty: float = 0.2,
+        trigger: TriggerPolicy | None = None,
+        min_run_interval_slices: float = 1.0,
+        expiry_sweep_interval: float = 4.0,
+        seed: int = 0,
+        engine: str = "packed",
+        shards: int = 1,
+    ):
+        warnings.warn(
+            "RuntimeConfig(...) is deprecated; use repro.api.ServiceConfig "
+            "(composable MarketConfig / AggregationConfig / SchedulingConfig "
+            "/ IngestConfig) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            axis=axis,
+            market=MarketConfig(
+                buy_price=buy_price,
+                sell_price=sell_price,
+                shortage_penalty=shortage_penalty,
+                surplus_penalty=surplus_penalty,
+            ),
+            aggregation=AggregationConfig(
+                parameters=(
+                    aggregation_parameters
+                    if aggregation_parameters is not None
+                    else _runtime_parameters()
+                ),
+                engine=engine,
+                shards=shards,
+            ),
+            scheduling=SchedulingConfig(
+                horizon_slices=horizon_slices,
+                scheduler_passes=scheduler_passes,
+                trigger=trigger if trigger is not None else default_trigger(),
+                min_run_interval_slices=min_run_interval_slices,
+                seed=seed,
+            ),
+            ingest=IngestConfig(
+                batch_size=batch_size,
+                expiry_sweep_interval=expiry_sweep_interval,
+            ),
+        )

@@ -2,11 +2,14 @@
 
 This is the online counterpart of :mod:`repro.node.simulation`'s one-shot
 planning day.  A :class:`BrpRuntimeService` consumes a continuous stream of
-flex-offer arrivals (simulated time via :class:`~repro.runtime.clock.EventQueue`),
+flex-offer arrivals over a pluggable :class:`~repro.runtime.drivers.TimeDriver`
+(deterministic simulated time by default; real time via
+:class:`~repro.runtime.drivers.WallClockDriver`),
 maintains the aggregate pool *incrementally* — by default through the
 columnar :class:`~repro.aggregation.engine.PackedAggregationPipeline`
-(``RuntimeConfig(engine="scalar")`` selects the object pipeline), optionally
-partitioned over ``RuntimeConfig(shards=K)`` hash-routed ingest pipelines
+(every engine registered in :mod:`repro.api.registry` is selectable via
+``AggregationConfig(engine=...)``), optionally
+partitioned over ``AggregationConfig(shards=K)`` hash-routed ingest pipelines
 whose pools merge at scheduling time — and re-runs
 scheduling when a :mod:`~repro.runtime.triggers` policy fires — warm-starting
 the greedy scheduler from the previous plan so sustained streams pay only for
@@ -34,32 +37,24 @@ import numpy as np
 
 from ..aggregation.aggregator import AggregatedFlexOffer
 from ..aggregation.pipeline import make_pipeline
-from ..aggregation.thresholds import AggregationParameters
 from ..aggregation.updates import AggregateUpdate, UpdateKind
 from ..core.errors import ServiceError
 from ..core.flexoffer import FlexOffer
-from ..core.timebase import DEFAULT_AXIS, TimeAxis
 from ..core.timeseries import TimeSeries
 from ..datamgmt.mirabel import LedmsStore
+from ..api.registry import KIND_SCHEDULER, default_registry
 from ..scheduling import (
     CandidateSolution,
     Market,
-    RandomizedGreedyScheduler,
     SchedulingProblem,
     SchedulingResult,
 )
-from .clock import EventQueue
+from .config import RuntimeConfig, ServiceConfig
+from .drivers import SimulatedDriver, TimeDriver
 from .ingest import FlexOfferIngest
 from .metrics import MetricsRegistry
 from .sharding import ShardedFlexOfferIngest
-from .triggers import (
-    AgeTrigger,
-    AnyTrigger,
-    CountTrigger,
-    ImbalanceTrigger,
-    TriggerContext,
-    TriggerPolicy,
-)
+from .triggers import AnyTrigger, TriggerContext
 
 __all__ = ["RuntimeConfig", "RuntimeReport", "BrpRuntimeService"]
 
@@ -74,66 +69,6 @@ def _flat_market(length: int, buy_price: float, sell_price: float) -> Market:
     of being rebuilt on each trigger fire.
     """
     return Market.flat(length, buy_price=buy_price, sell_price=sell_price)
-
-
-def _default_trigger() -> TriggerPolicy:
-    """Count for throughput, age for latency, imbalance for burst risk.
-
-    Thresholds match the ``loadtest``/``serve`` CLI defaults so library and
-    CLI runs behave identically out of the box.
-    """
-    return AnyTrigger(
-        [CountTrigger(200), AgeTrigger(16), ImbalanceTrigger(2_000.0)]
-    )
-
-
-@dataclass(frozen=True)
-class RuntimeConfig:
-    """Tuning knobs of the streaming BRP runtime."""
-
-    axis: TimeAxis = DEFAULT_AXIS
-    aggregation_parameters: AggregationParameters = field(
-        default_factory=lambda: AggregationParameters(
-            start_after_tolerance=8, time_flexibility_tolerance=8, name="runtime"
-        )
-    )
-    batch_size: int = 64
-    """Pending flex-offer updates that trigger an incremental pipeline run."""
-    horizon_slices: int = 192
-    """Rolling planning horizon (2 days on the 15-min axis)."""
-    scheduler_passes: int = 2
-    """Greedy passes per scheduling run (the warm start adds one evaluation)."""
-    buy_price: float = 0.20
-    sell_price: float = 0.05
-    shortage_penalty: float = 0.5
-    surplus_penalty: float = 0.2
-    trigger: TriggerPolicy = field(default_factory=_default_trigger)
-    min_run_interval_slices: float = 1.0
-    """Cooldown between scheduling runs, bounding trigger thrash."""
-    expiry_sweep_interval: float = 4.0
-    """Simulated slices between sweeps retiring closed-window offers."""
-    seed: int = 0
-    """Seed of the scheduler RNG (the load generator has its own)."""
-    engine: str = "packed"
-    """Aggregation engine: ``"packed"`` (columnar) or ``"scalar"``."""
-    shards: int = 1
-    """Ingest pipelines the stream is partitioned over (by group-cell hash)."""
-
-    def __post_init__(self) -> None:
-        if self.batch_size <= 0:
-            raise ServiceError("batch_size must be positive")
-        if self.horizon_slices <= 0:
-            raise ServiceError("horizon_slices must be positive")
-        if self.scheduler_passes <= 0:
-            raise ServiceError("scheduler_passes must be positive")
-        if self.expiry_sweep_interval <= 0:
-            raise ServiceError("expiry_sweep_interval must be positive")
-        if self.engine not in ("packed", "scalar"):
-            raise ServiceError(
-                f"engine must be 'packed' or 'scalar', got {self.engine!r}"
-            )
-        if self.shards <= 0:
-            raise ServiceError("shards must be positive")
 
 
 @dataclass
@@ -209,19 +144,26 @@ class BrpRuntimeService:
 
     def __init__(
         self,
-        config: RuntimeConfig | None = None,
+        config: ServiceConfig | None = None,
         *,
         store: LedmsStore | None = None,
         metrics: MetricsRegistry | None = None,
         net_forecast: TimeSeries | None = None,
+        driver: TimeDriver | None = None,
     ):
-        self.config = config if config is not None else RuntimeConfig()
+        self.config = config if config is not None else ServiceConfig()
         self.store = (
             store if store is not None else LedmsStore(self.config.axis)
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.net_forecast = net_forecast
-        self.queue = EventQueue()
+        self.driver: TimeDriver = (
+            driver if driver is not None else SimulatedDriver()
+        )
+        #: The simulated event queue when the driver has one (kept for
+        #: backward compatibility: ``service.queue.clock.advance_to(...)``);
+        #: ``None`` under wall-clock drivers.
+        self.queue = getattr(self.driver, "queue", None)
         if self.config.shards > 1:
             # Sharded ingest: K pipelines keyed by group-cell hash; pools are
             # merged at scheduling time through the shared update stream.
@@ -233,6 +175,7 @@ class BrpRuntimeService:
                 store=self.store,
                 metrics=self.metrics,
                 batch_size=self.config.batch_size,
+                max_duration_slices=self.config.max_duration_slices,
             )
         else:
             self.pipeline = make_pipeline(
@@ -243,10 +186,17 @@ class BrpRuntimeService:
                 store=self.store,
                 metrics=self.metrics,
                 batch_size=self.config.batch_size,
+                max_duration_slices=self.config.max_duration_slices,
             )
-        self.scheduler = RandomizedGreedyScheduler()
+        self.scheduler = default_registry().create(
+            KIND_SCHEDULER, self.config.scheduling.scheduler
+        )
         self.pool: dict[str, AggregateUpdate] = {}
         self.last_schedule = None
+        #: Callbacks invoked with each non-empty :class:`SchedulingResult`
+        #: after its plan has been committed (the facade's
+        #: ``on_plan_committed`` hook attaches here).
+        self.plan_listeners: list[Callable[[SchedulingResult], None]] = []
         self._live: dict[int, FlexOffer] = {}
         self._scheduled: set[int] = set()
         self._scheduled_total = 0
@@ -273,28 +223,53 @@ class BrpRuntimeService:
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
-        """Current simulated time."""
-        return self.queue.clock.now
+        """Current time in slice units, as the driver defines it."""
+        return self.driver.now
 
     @property
-    def _now_slice(self) -> int:
+    def now_slice(self) -> int:
         """First whole slice at which anything can still be started."""
         return int(math.ceil(self.now))
+
+    # Historical internal alias, still used throughout the loop body.
+    _now_slice = now_slice
 
     @property
     def live_offers(self) -> int:
         """Accepted offers not yet retired."""
         return len(self._live)
 
+    # -- per-offer views (the stable seam the api facade reads) ---------
+    def is_live(self, offer_id: int) -> bool:
+        """Whether the offer is in the active pool (not retired)."""
+        return offer_id in self._live
+
+    def is_scheduled(self, offer_id: int) -> bool:
+        """Whether the current plan covers the offer."""
+        return offer_id in self._scheduled
+
+    def committed_start(self, offer_id: int) -> int | None:
+        """The start slice the plan committed the offer to (None if none)."""
+        return self._committed_start.get(offer_id)
+
+    @property
+    def scheduled_total(self) -> int:
+        """Cumulative unique offers ever scheduled by this service."""
+        return self._scheduled_total
+
     # ------------------------------------------------------------------
     # ingest
     # ------------------------------------------------------------------
-    def submit(self, offer: FlexOffer) -> bool:
-        """Admit one offer at the current simulated time; True if accepted."""
+    def submit(self, offer: FlexOffer) -> FlexOffer | None:
+        """Admit one offer at the current time.
+
+        Returns the accepted (possibly window-clipped) offer — truthy, so
+        boolean call sites keep working — or ``None`` on rejection.
+        """
         self.metrics.counter("runtime.offers_submitted").inc()
         accepted = self.ingest.submit(offer, self._now_slice)
         if accepted is None:
-            return False
+            return None
         oid = accepted.offer_id
         self._live[oid] = accepted
         self._arrival_sim[oid] = self.now
@@ -306,7 +281,28 @@ class BrpRuntimeService:
         if self.ingest.batch_full:
             self.run_aggregation()
         self.maybe_schedule()
-        return True
+        return accepted
+
+    def withdraw(self, offer_id: int) -> FlexOffer | None:
+        """Retract a live offer before execution; returns it, or ``None``.
+
+        The offer leaves the aggregation pool through a delete update and
+        its lifecycle ends in the ``withdrawn`` state.  Offers already
+        executed/expired (no longer live) cannot be withdrawn.
+        """
+        offer = self._live.pop(offer_id, None)
+        if offer is None:
+            return None
+        if offer_id not in self._scheduled:
+            self._unscheduled_energy -= self._offer_energy(offer)
+        self.ingest.retire([offer], self._now_slice, "withdrawn")
+        self._scheduled.discard(offer_id)
+        self._arrival_sim.pop(offer_id, None)
+        self._arrival_wall.pop(offer_id, None)
+        self._committed_start.pop(offer_id, None)
+        self.metrics.counter("runtime.offers_withdrawn").inc()
+        self.metrics.gauge("runtime.live_offers").set(len(self._live))
+        return offer
 
     # ------------------------------------------------------------------
     # aggregation
@@ -454,6 +450,8 @@ class BrpRuntimeService:
 
         self.last_schedule = problem.to_schedule(result.solution)
         self._disaggregate(self.last_schedule, originals)
+        for listener in self.plan_listeners:
+            listener(result)
         return result
 
     def _net_forecast_window(self, start: int, end: int) -> TimeSeries:
@@ -620,7 +618,7 @@ class BrpRuntimeService:
         report_every: float | None = None,
         report_sink: Callable[[str], None] = print,
     ) -> RuntimeReport:
-        """Process an arrival stream for ``duration_slices`` of simulated time.
+        """Process an arrival stream for ``duration_slices`` of driver time.
 
         ``arrivals`` yields ``(time, offer)`` pairs in non-decreasing time
         order (e.g. from :class:`~repro.runtime.loadgen.LoadGenerator.stream`);
@@ -628,6 +626,11 @@ class BrpRuntimeService:
         lazily — one pending arrival at a time — so arbitrarily long streams
         run in constant memory.  After the window closes, a final sweep,
         flush and forced scheduling run drain the remaining work.
+
+        Under the default :class:`~repro.runtime.drivers.SimulatedDriver`
+        the stream replays deterministically; under a wall-clock driver the
+        same arrivals are paced by real time (and concurrent producers can
+        inject extra work through the driver's inbox).
         """
         if report_every is not None and report_every <= 0:
             raise ServiceError(
@@ -663,7 +666,7 @@ class BrpRuntimeService:
                 # Hold the lookahead for a follow-up run on this iterator.
                 self._stream_overflow = (arrivals_iter, arrival_time, offer)
                 return
-            self.queue.schedule_at(
+            self.driver.schedule_at(
                 arrival_time,
                 lambda offer=offer: (self.submit(offer), arm_next_arrival()),
             )
@@ -675,9 +678,9 @@ class BrpRuntimeService:
             self.maybe_schedule()
             next_time = self.now + self.config.expiry_sweep_interval
             if next_time < end:
-                self.queue.schedule_at(next_time, sweep_tick)
+                self.driver.schedule_at(next_time, sweep_tick)
 
-        self.queue.schedule_at(
+        self.driver.schedule_at(
             min(start + self.config.expiry_sweep_interval, end), sweep_tick
         )
 
@@ -692,11 +695,11 @@ class BrpRuntimeService:
                 )
                 next_time = self.now + report_every
                 if next_time < end:
-                    self.queue.schedule_at(next_time, report_tick)
+                    self.driver.schedule_at(next_time, report_tick)
 
-            self.queue.schedule_at(min(start + report_every, end), report_tick)
+            self.driver.schedule_at(min(start + report_every, end), report_tick)
 
-        self.queue.run_until(end)
+        self.driver.run_until(end)
 
         # Drain: retire closed windows, aggregate the tail, schedule once more.
         self.sweep_expired()
@@ -743,5 +746,5 @@ class BrpRuntimeService:
             latency_wall_p50=wall.p50,
             latency_wall_p95=wall.p95,
             state_counts=self.store.state_counts(),
-            events_processed=self.queue.processed,
+            events_processed=self.driver.processed,
         )

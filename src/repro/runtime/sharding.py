@@ -111,6 +111,13 @@ class ShardedFlexOfferIngest:
             offer = admission_clip(offer, now)
         return hash(self.parameters.group_key(offer)) % len(self.shards)
 
+    def reject_reason(self, offer: FlexOffer, now: int) -> str | None:
+        """Why ``offer`` cannot be admitted at ``now`` (None = admissible).
+
+        Admission rules are identical on every shard, so any shard answers.
+        """
+        return self.shards[0].reject_reason(offer, now)
+
     def submit(self, offer: FlexOffer, now: int) -> FlexOffer | None:
         """Admit one offer on its home shard; returns the accepted offer."""
         index = self.shard_of(offer, now)

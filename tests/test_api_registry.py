@@ -1,0 +1,216 @@
+"""The engine registry and the composed service configuration.
+
+Pins the satellite fix of this PR: engine validation in the runtime config
+and in ``make_pipeline`` route through the *same* registry, so the set of
+accepted names can never diverge again (``reference`` used to be accepted
+by one and rejected by the other).
+"""
+
+import warnings
+
+import pytest
+
+from repro.aggregation.pipeline import PIPELINE_ENGINES, make_pipeline
+from repro.aggregation.thresholds import AggregationParameters
+from repro.api import (
+    KIND_AGGREGATION,
+    KIND_DRIVER,
+    KIND_SCHEDULER,
+    KIND_TRIGGER,
+    Registry,
+    RegistryError,
+    default_registry,
+)
+from repro.api.config import (
+    AggregationConfig,
+    IngestConfig,
+    MarketConfig,
+    RuntimeConfig,
+    SchedulingConfig,
+    ServiceConfig,
+    build_trigger,
+)
+from repro.core.errors import AggregationError, ServiceError
+from repro.runtime.triggers import AnyTrigger, CountTrigger
+from repro.scheduling import (
+    EvolutionaryScheduler,
+    ExhaustiveScheduler,
+    RandomizedGreedyScheduler,
+)
+
+PARAMS = AggregationParameters(
+    start_after_tolerance=8, time_flexibility_tolerance=8, name="test"
+)
+
+
+class TestRegistry:
+    def test_builtin_catalogue(self):
+        registry = default_registry()
+        assert registry.names(KIND_AGGREGATION) == (
+            "packed", "reference", "scalar",
+        )
+        assert registry.names(KIND_SCHEDULER) == (
+            "evolutionary", "exhaustive", "greedy",
+        )
+        assert registry.names(KIND_TRIGGER) == ("age", "any", "count", "imbalance")
+        assert registry.names(KIND_DRIVER) == ("simulated", "wallclock")
+
+    def test_unknown_name_error_lists_known_set(self):
+        with pytest.raises(RegistryError) as excinfo:
+            default_registry().get(KIND_AGGREGATION, "bogus")
+        message = str(excinfo.value)
+        for name in ("packed", "reference", "scalar"):
+            assert name in message
+
+    def test_duplicate_registration_rejected_unless_replace(self):
+        registry = Registry()
+        registry.register("kind", "x", int)
+        with pytest.raises(RegistryError):
+            registry.register("kind", "x", float)
+        entry = registry.register("kind", "x", float, replace=True)
+        assert entry.factory is float
+
+    def test_scheduler_capabilities_mirror_class_attributes(self):
+        registry = default_registry()
+        for name, cls in (
+            ("greedy", RandomizedGreedyScheduler),
+            ("evolutionary", EvolutionaryScheduler),
+            ("exhaustive", ExhaustiveScheduler),
+        ):
+            assert registry.capabilities(KIND_SCHEDULER, name) == cls.capabilities
+            assert isinstance(registry.create(KIND_SCHEDULER, name), cls)
+
+    def test_render_mentions_every_entry(self):
+        text = default_registry().render()
+        for name in ("packed", "greedy", "wallclock", "imbalance"):
+            assert name in text
+
+
+class TestUnifiedEngineValidation:
+    def test_runtime_config_accepts_every_pipeline_engine(self):
+        # The historical bug: RuntimeConfig rejected "reference" although
+        # make_pipeline supported it.  Both now consult the registry.
+        for engine in default_registry().names(KIND_AGGREGATION):
+            config = ServiceConfig(aggregation=AggregationConfig(engine=engine))
+            assert config.engine == engine
+            assert make_pipeline(PARAMS, engine=engine) is not None
+
+    def test_pipeline_engines_constant_matches_registry(self):
+        assert set(PIPELINE_ENGINES) == set(
+            default_registry().names(KIND_AGGREGATION)
+        )
+
+    def test_both_sites_reject_with_the_same_known_set(self):
+        with pytest.raises(ServiceError) as config_err:
+            AggregationConfig(engine="bogus")
+        with pytest.raises(AggregationError) as pipeline_err:
+            make_pipeline(PARAMS, engine="bogus")
+        assert str(config_err.value) == str(pipeline_err.value)
+
+
+class TestServiceConfig:
+    def test_flat_properties_cover_historical_names(self):
+        config = ServiceConfig(
+            market=MarketConfig(buy_price=0.3),
+            aggregation=AggregationConfig(engine="scalar", shards=2),
+            scheduling=SchedulingConfig(horizon_slices=96, seed=7),
+            ingest=IngestConfig(batch_size=16),
+        )
+        assert config.buy_price == 0.3
+        assert config.engine == "scalar"
+        assert config.shards == 2
+        assert config.horizon_slices == 96
+        assert config.seed == 7
+        assert config.batch_size == 16
+        assert config.aggregation_parameters.name == "runtime"
+
+    def test_every_flat_field_is_readable_as_a_property(self):
+        # from_flat/merged accept exactly _FLAT_FIELDS; each key must also
+        # read back flat, so the two views cannot drift apart.
+        config = ServiceConfig()
+        for name in ServiceConfig._FLAT_FIELDS:
+            getattr(config, name)
+
+    def test_validation_errors_preserved(self):
+        with pytest.raises(ServiceError):
+            IngestConfig(batch_size=0)
+        with pytest.raises(ServiceError):
+            SchedulingConfig(horizon_slices=-1)
+        with pytest.raises(ServiceError):
+            SchedulingConfig(scheduler_passes=0)
+        with pytest.raises(ServiceError):
+            IngestConfig(expiry_sweep_interval=0)
+        with pytest.raises(ServiceError):
+            AggregationConfig(shards=0)
+
+    def test_scheduler_requires_runtime_capability(self):
+        with pytest.raises(ServiceError) as excinfo:
+            SchedulingConfig(scheduler="evolutionary")
+        assert "runtime" in str(excinfo.value)
+
+    def test_from_flat_and_merged(self):
+        config = ServiceConfig.from_flat(batch_size=8, engine="scalar", seed=3)
+        assert (config.batch_size, config.engine, config.seed) == (8, "scalar", 3)
+        merged = config.merged(seed=9, shards=2)
+        assert merged.seed == 9 and merged.shards == 2
+        assert merged.batch_size == 8  # untouched sections carried over
+        with pytest.raises(ServiceError):
+            config.merged(nonsense=1)
+
+    def test_from_dict_nested_and_trigger_spec(self):
+        config = ServiceConfig.from_dict(
+            {
+                "scheduling": {
+                    "horizon_slices": 96,
+                    "trigger": [
+                        {"kind": "count", "threshold": 50},
+                        {"kind": "age", "max_age_slices": 4},
+                    ],
+                },
+                "ingest": {"batch_size": 16},
+                "engine": "scalar",
+            }
+        )
+        assert config.horizon_slices == 96
+        assert config.batch_size == 16
+        assert config.engine == "scalar"
+        assert isinstance(config.trigger, AnyTrigger)
+        assert len(config.trigger.policies) == 2
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig.from_dict({"bogus": 1})
+
+    def test_build_trigger_single_and_passthrough(self):
+        single = build_trigger({"kind": "count", "threshold": 5})
+        assert isinstance(single, CountTrigger)
+        policy = CountTrigger(3)
+        assert build_trigger(policy) is policy
+        with pytest.raises(ServiceError):
+            build_trigger([{"threshold": 5}])  # missing kind
+
+
+class TestRuntimeConfigShim:
+    def test_flat_constructor_warns_and_builds_composed_form(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            config = RuntimeConfig(batch_size=8, engine="reference", seed=4)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert isinstance(config, ServiceConfig)
+        assert config.batch_size == 8
+        assert config.engine == "reference"
+        assert config.seed == 4
+        assert config.scheduling.scheduler == "greedy"
+
+    def test_shim_still_validates(self):
+        with pytest.raises(ServiceError):
+            RuntimeConfig(batch_size=0)
+        with pytest.raises(ServiceError):
+            RuntimeConfig(engine="bogus")
+
+    def test_shim_importable_from_runtime(self):
+        from repro.runtime import RuntimeConfig as FromRuntime
+
+        assert FromRuntime is RuntimeConfig

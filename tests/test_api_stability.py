@@ -1,0 +1,105 @@
+"""API-stability gate: the public facade cannot drift silently.
+
+Asserts the exported names (``__all__``) and callable signatures of
+``repro.api`` and ``repro.runtime`` against the checked-in snapshot
+``tests/api_snapshot.json``.  A PR that intentionally evolves the facade
+regenerates the snapshot — making the change visible in review — with::
+
+    REPRO_UPDATE_API_SNAPSHOT=1 PYTHONPATH=src \
+        python -m pytest tests/test_api_stability.py
+
+An unintentional change (renamed export, dropped parameter, new required
+argument) fails here instead of breaking downstream callers.
+"""
+
+import importlib
+import inspect
+import json
+import os
+import pathlib
+
+SNAPSHOT_PATH = pathlib.Path(__file__).parent / "api_snapshot.json"
+MODULES = ("repro.api", "repro.runtime")
+
+
+def _signature_of(obj) -> str | None:
+    """A deterministic signature string (None for non-callables)."""
+    target = obj
+    if inspect.isclass(obj):
+        # The class's constructor surface is what callers depend on.
+        target = obj.__init__
+        if target is object.__init__:
+            return "()"
+    if not callable(obj):
+        return None
+    try:
+        signature = str(inspect.signature(target))
+    except (TypeError, ValueError):
+        return None
+    if inspect.isclass(obj):
+        # Drop the bound 'self' for readability/stability.
+        signature = signature.replace("(self, ", "(", 1).replace(
+            "(self)", "()", 1
+        )
+    return signature
+
+
+def build_snapshot() -> dict:
+    """The current public surface of every gated module."""
+    snapshot: dict[str, dict] = {}
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        exports = sorted(module.__all__)
+        signatures = {}
+        for name in exports:
+            obj = getattr(module, name)
+            signature = _signature_of(obj)
+            if signature is not None:
+                signatures[name] = signature
+        snapshot[module_name] = {"all": exports, "signatures": signatures}
+    return snapshot
+
+
+def test_api_surface_matches_snapshot():
+    current = build_snapshot()
+    if os.environ.get("REPRO_UPDATE_API_SNAPSHOT"):
+        SNAPSHOT_PATH.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n"
+        )
+    assert SNAPSHOT_PATH.exists(), (
+        "tests/api_snapshot.json is missing; regenerate it with "
+        "REPRO_UPDATE_API_SNAPSHOT=1"
+    )
+    recorded = json.loads(SNAPSHOT_PATH.read_text())
+
+    for module_name in MODULES:
+        assert module_name in recorded, f"snapshot lacks {module_name}"
+        got = current[module_name]
+        want = recorded[module_name]
+        missing = sorted(set(want["all"]) - set(got["all"]))
+        added = sorted(set(got["all"]) - set(want["all"]))
+        assert not missing, (
+            f"{module_name}.__all__ lost exports {missing}; if intended, "
+            "regenerate tests/api_snapshot.json (REPRO_UPDATE_API_SNAPSHOT=1)"
+        )
+        assert not added, (
+            f"{module_name}.__all__ gained exports {added} not in the "
+            "snapshot; regenerate tests/api_snapshot.json "
+            "(REPRO_UPDATE_API_SNAPSHOT=1)"
+        )
+        for name, signature in want["signatures"].items():
+            assert got["signatures"].get(name) == signature, (
+                f"{module_name}.{name} signature changed:\n"
+                f"  recorded: {signature}\n"
+                f"  current:  {got['signatures'].get(name)}\n"
+                "If intended, regenerate tests/api_snapshot.json "
+                "(REPRO_UPDATE_API_SNAPSHOT=1)"
+            )
+
+
+def test_every_lazy_api_export_resolves():
+    """PEP 562 exports in repro.api must all import and match __all__."""
+    import repro.api as api
+
+    for name in api.__all__:
+        assert getattr(api, name) is not None

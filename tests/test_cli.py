@@ -1,0 +1,110 @@
+"""CLI: registry-validated names, --config file merging, exit codes.
+
+Drives ``repro.__main__.main`` in-process with tiny deterministic
+workloads, so the whole file runs in a couple of seconds.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import EXIT_OK, EXIT_UNKNOWN_EXPERIMENT, main
+
+TINY = ["--rate", "20", "--duration", "12", "--seed", "1", "--batch", "8",
+        "--passes", "1"]
+
+
+def test_loadtest_runs(capsys):
+    assert main(["loadtest", *TINY]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "offers accepted" in out
+    assert "driver=simulated" in out
+
+
+def test_unknown_engine_exits_2_with_known_names(capsys):
+    assert main(["loadtest", "--engine", "bogus"]) == EXIT_UNKNOWN_EXPERIMENT
+    err = capsys.readouterr().err
+    for name in ("packed", "reference", "scalar"):
+        assert name in err
+
+
+def test_unknown_driver_exits_2_with_known_names(capsys):
+    assert main(["loadtest", "--driver", "bogus"]) == EXIT_UNKNOWN_EXPERIMENT
+    err = capsys.readouterr().err
+    assert "simulated" in err and "wallclock" in err
+
+
+def test_unknown_scheduler_exits_2(capsys):
+    assert main(["loadtest", "--scheduler", "bogus"]) == EXIT_UNKNOWN_EXPERIMENT
+    assert "greedy" in capsys.readouterr().err
+
+
+def test_scheduler_without_runtime_capability_exits_2(capsys):
+    # Registered, but not usable by the streaming loop.
+    assert (
+        main(["loadtest", *TINY, "--scheduler", "evolutionary"])
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    assert "runtime" in capsys.readouterr().err
+
+
+def test_config_file_supplies_defaults(tmp_path, capsys):
+    config = tmp_path / "run.json"
+    config.write_text(json.dumps({
+        "rate": 20, "duration": 12, "seed": 1, "batch": 8, "passes": 1,
+    }))
+    assert main(["loadtest", "--config", str(config)]) == EXIT_OK
+    assert "rate=20" in capsys.readouterr().out
+
+
+def test_explicit_flags_beat_config_file(tmp_path, capsys):
+    config = tmp_path / "run.json"
+    config.write_text(json.dumps({
+        "rate": 999, "duration": 12, "seed": 1, "batch": 8, "passes": 1,
+    }))
+    assert (
+        main(["loadtest", "--config", str(config), "--rate", "20"]) == EXIT_OK
+    )
+    out = capsys.readouterr().out
+    assert "rate=20" in out and "rate=999" not in out
+
+
+def test_config_file_unknown_key_exits_2(tmp_path, capsys):
+    config = tmp_path / "run.json"
+    config.write_text(json.dumps({"warp_speed": 9}))
+    assert main(["loadtest", "--config", str(config)]) == EXIT_UNKNOWN_EXPERIMENT
+    err = capsys.readouterr().err
+    assert "warp_speed" in err and "known keys" in err
+
+
+def test_config_file_engine_validated_through_registry(tmp_path, capsys):
+    # Names arriving via the file bypass argparse; the registry check must
+    # still catch them.
+    config = tmp_path / "run.json"
+    config.write_text(json.dumps({"engine": "bogus"}))
+    assert main(["loadtest", "--config", str(config)]) == EXIT_UNKNOWN_EXPERIMENT
+    assert "known aggregation names" in capsys.readouterr().err
+
+
+def test_config_file_unreadable_or_invalid_exits_2(tmp_path, capsys):
+    assert (
+        main(["loadtest", "--config", str(tmp_path / "absent.json")])
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["loadtest", "--config", str(bad)]) == EXIT_UNKNOWN_EXPERIMENT
+
+
+def test_serve_accepts_config_with_report_every(tmp_path, capsys):
+    config = tmp_path / "serve.json"
+    config.write_text(json.dumps({
+        "rate": 20, "duration": 12, "seed": 1, "batch": 8, "passes": 1,
+        "report_every": 6,
+    }))
+    assert main(["serve", "--config", str(config)]) == EXIT_OK
+    assert "[t=" in capsys.readouterr().out  # progress lines appeared
+
+
+def test_unknown_experiment_still_exits_2(capsys):
+    assert main(["no-such-experiment"]) == EXIT_UNKNOWN_EXPERIMENT
