@@ -1,0 +1,164 @@
+"""Multi-node cluster throughput: K BRPs + TSO over the bus vs one service.
+
+Claims to measure:
+
+* aggregate ingest throughput (offers/sec, wall clock) of a K-BRP cluster
+  whose nodes run over the ``node.bus`` adapter on one shared simulated
+  driver, with the TSO tier re-aggregating and scheduling system-wide;
+* equal sim-time behaviour: every cluster BRP replays the *same* seeded
+  Poisson stream as the single-service baseline, and admission is
+  TSO-independent, so per-BRP accepted/submitted counts must match the
+  baseline exactly — the comparison isolates wall-clock scaling;
+* the level-3 path is live: every measured run commits TSO plans whose
+  scheduled macros round-trip back to per-BRP micro-offer commitments.
+
+Records land in ``BENCH_runtime.json`` under ``cluster.*`` names.
+Scale with ``REPRO_SCALE``; ``REPRO_BENCH_SMOKE=1`` shrinks to a 2-BRP run.
+"""
+
+from conftest import smoke_mode
+from repro.experiments import scale_factor
+from repro.experiments.reporting import print_table
+from repro.runtime import (
+    BrpRuntimeService,
+    ClusterConfig,
+    ClusterRuntime,
+    IngestConfig,
+    LoadGenerator,
+    SchedulingConfig,
+    ServiceConfig,
+    TsoConfig,
+)
+
+RATE_PER_BRP = 100.0
+DURATION_SLICES = 96.0  # one simulated day per configuration
+SEED = 42
+CLUSTER_SIZES = (1, 2, 4)
+
+
+def _duration_slices() -> float:
+    return 24.0 if smoke_mode() else DURATION_SLICES
+
+
+def _rate() -> float:
+    return 20.0 if smoke_mode() else RATE_PER_BRP * scale_factor()
+
+
+def _service_config() -> ServiceConfig:
+    return ServiceConfig(
+        scheduling=SchedulingConfig(scheduler_passes=1, seed=SEED),
+        ingest=IngestConfig(batch_size=64),
+    )
+
+
+def _stream(duration: float):
+    return LoadGenerator(rate_per_hour=_rate(), seed=SEED).stream(0.0, duration)
+
+
+def _run_baseline():
+    service = BrpRuntimeService(_service_config())
+    duration = _duration_slices()
+    return service.run_stream(_stream(duration), duration)
+
+
+def _run_cluster(brps: int):
+    cluster = ClusterRuntime(
+        ClusterConfig.uniform(
+            brps, _service_config(), tso=TsoConfig(scheduler_passes=1)
+        )
+    )
+    duration = _duration_slices()
+    # Every BRP replays the identical stream (same seed): total offered
+    # load scales exactly K× the baseline, and per-BRP sim-time admission
+    # behaviour is pinned to the baseline's.
+    streams = {name: _stream(duration) for name in cluster.clients}
+    return cluster.run(streams, duration)
+
+
+def test_cluster_throughput_scaling(once, bench_record):
+    sizes = (2,) if smoke_mode() else CLUSTER_SIZES
+
+    def run_all():
+        return _run_baseline(), [(k, _run_cluster(k)) for k in sizes]
+
+    baseline, clusters = once(run_all)
+
+    rows = [
+        [
+            "single (no bus)",
+            baseline.offers_accepted,
+            f"{baseline.offers_per_second:.0f}",
+            f"{baseline.latency_slices_p95:.2f}",
+            "-",
+            "-",
+            "-",
+        ]
+    ]
+    for brps, report in clusters:
+        rows.append(
+            [
+                f"cluster K={brps}",
+                report.offers_accepted,
+                f"{report.offers_per_second:.0f}",
+                f"{report.latency_slices_p95:.2f}",
+                report.tso_scheduling_runs,
+                report.remote_commits,
+                report.bus_dropped,
+            ]
+        )
+    print_table(
+        f"cluster throughput vs single service "
+        f"({_rate():g}/h per BRP, {_duration_slices():g} slices)",
+        ["config", "offers", "offers/s", "p95 sim", "tso runs", "remote", "drop"],
+        rows,
+    )
+
+    bench_record(
+        "runtime",
+        name="cluster.single_baseline",
+        workload={
+            "rate_per_hour": _rate(),
+            "duration_slices": _duration_slices(),
+            "brps": 1,
+        },
+        metrics={
+            "offers_accepted": baseline.offers_accepted,
+            "offers_per_sec": baseline.offers_per_second,
+            "latency_slices_p95": baseline.latency_slices_p95,
+        },
+    )
+    for brps, report in clusters:
+        bench_record(
+            "runtime",
+            name=f"cluster.scaling_k{brps}",
+            workload={
+                "rate_per_hour": _rate(),
+                "duration_slices": _duration_slices(),
+                "brps": brps,
+            },
+            metrics={
+                "offers_accepted": report.offers_accepted,
+                "offers_per_sec": report.offers_per_second,
+                "latency_slices_p95": report.latency_slices_p95,
+                "tso_scheduling_runs": report.tso_scheduling_runs,
+                "tso_macros_returned": report.tso_macros_returned,
+                "remote_commits": report.remote_commits,
+                "bus_delivered": report.bus_delivered,
+                "bus_dropped": report.bus_dropped,
+            },
+        )
+
+    for brps, report in clusters:
+        # Equal sim-time behaviour: admission is TSO- and bus-independent,
+        # so each BRP replaying the baseline's stream admits exactly the
+        # baseline's offers.
+        for name, brp_report in report.brp_reports.items():
+            assert brp_report.offers_submitted == baseline.offers_submitted
+            assert brp_report.offers_accepted == baseline.offers_accepted
+        assert report.offers_accepted == brps * baseline.offers_accepted
+        # The level-3 path must be live in every measured run: TSO plans
+        # committed, scheduled macros returned, micro commitments made.
+        assert report.tso_scheduling_runs > 0
+        assert report.tso_macros_returned > 0
+        assert report.remote_commits > 0
+        assert report.bus_dropped == 0

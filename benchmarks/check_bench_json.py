@@ -1,11 +1,17 @@
 """Validate the schema of emitted BENCH_*.json trajectory files.
 
-Usage: ``python benchmarks/check_bench_json.py DIR [expected_kind ...]``
+Usage: ``python benchmarks/check_bench_json.py DIR [expected ...]``
+
+Each ``expected`` argument is either a bare kind (``runtime`` — the file
+``BENCH_runtime.json`` must exist) or ``kind.family`` (``runtime.cluster``
+— that kind must also contain at least one record whose name is ``family``
+or starts with ``family.``, e.g. the multi-node runtime's ``cluster.*``
+scaling records).
 
 Checks structure only — never timing thresholds — so the CI smoke job can
 assert the harness works without becoming a flaky performance gate.  Exits
 non-zero (with a message per problem) when a file is malformed or an
-expected kind is missing.
+expected kind/record family is missing.
 """
 
 from __future__ import annotations
@@ -18,15 +24,17 @@ REQUIRED_TOP_LEVEL = ("kind", "schema_version", "scale", "smoke", "records")
 REQUIRED_RECORD = ("test", "name", "workload", "metrics")
 
 
-def check_file(path: pathlib.Path) -> tuple[list[str], str | None]:
-    """Validate one file; returns (problems, kind or None)."""
+def check_file(
+    path: pathlib.Path,
+) -> tuple[list[str], str | None, set[str]]:
+    """Validate one file; returns (problems, kind or None, record names)."""
     problems: list[str] = []
     try:
         payload = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
-        return [f"{path}: not valid JSON ({exc})"], None
+        return [f"{path}: not valid JSON ({exc})"], None, set()
     if not isinstance(payload, dict):
-        return [f"{path}: top level must be a JSON object"], None
+        return [f"{path}: top level must be a JSON object"], None, set()
     for key in REQUIRED_TOP_LEVEL:
         if key not in payload:
             problems.append(f"{path}: missing top-level key {key!r}")
@@ -54,7 +62,12 @@ def check_file(path: pathlib.Path) -> tuple[list[str], str | None]:
                 )
         else:
             problems.append(f"{path}: records[{i}] metrics must be a dict")
-    return problems, payload.get("kind")
+    names = {
+        record["name"]
+        for record in records
+        if isinstance(record, dict) and isinstance(record.get("name"), str)
+    }
+    return problems, payload.get("kind"), names
 
 
 def main(argv: list[str]) -> int:
@@ -62,20 +75,34 @@ def main(argv: list[str]) -> int:
         print(__doc__)
         return 2
     directory = pathlib.Path(argv[0])
-    expected_kinds = set(argv[1:])
+    expected_kinds = {spec for spec in argv[1:] if "." not in spec}
+    expected_families = [
+        tuple(spec.split(".", 1)) for spec in argv[1:] if "." in spec
+    ]
     files = sorted(directory.glob("BENCH_*.json"))
     if not files:
         print(f"no BENCH_*.json files found in {directory}")
         return 1
     problems: list[str] = []
     seen_kinds: set[str] = set()
+    names_by_kind: dict[str, set[str]] = {}
     for path in files:
-        file_problems, kind = check_file(path)
+        file_problems, kind, names = check_file(path)
         problems.extend(file_problems)
         if kind is not None:
             seen_kinds.add(kind)
+            names_by_kind.setdefault(kind, set()).update(names)
     for kind in sorted(expected_kinds - seen_kinds):
         problems.append(f"{directory}: expected kind {kind!r} was not emitted")
+    for kind, family in expected_families:
+        names = names_by_kind.get(kind, set())
+        if not any(
+            name == family or name.startswith(f"{family}.") for name in names
+        ):
+            problems.append(
+                f"{directory}: kind {kind!r} has no {family!r} record "
+                f"(expected a name equal to or prefixed by {family + '.'!r})"
+            )
     for problem in problems:
         print(problem)
     if not problems:

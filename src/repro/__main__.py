@@ -12,6 +12,8 @@ Usage::
     python -m repro serve --rate 20 --duration 2880 --report-every 96
     python -m repro serve --driver wallclock --slices-per-second 8 --duration 96
     python -m repro loadtest --config run.json --seed 7   # flags beat the file
+    python -m repro loadtest --brps 4 --rate 50 --duration 192   # cluster + TSO
+    python -m repro serve --cluster cluster.json --report-every 96
 
 Engine/scheduler/driver names are resolved through the
 :mod:`repro.api.registry`; unknown names exit ``2`` with the known set.
@@ -178,6 +180,19 @@ def _runtime_parser(command: str) -> argparse.ArgumentParser:
         "(ignored for --driver simulated)",
     )
     parser.add_argument(
+        "--brps", type=int, default=1,
+        help="run a multi-node cluster of this many identically configured "
+        "BRPs plus a TSO tier over the message bus (1 = single service)",
+    )
+    parser.add_argument(
+        "--cluster", metavar="FILE.json", default=None,
+        help="JSON cluster config (per-BRP service sections + tso section; "
+        "see repro.api.ClusterConfig.from_dict); implies cluster mode and "
+        "is mutually exclusive with --brps.  Service flags (--batch, "
+        "--horizon, --scheduler, ...) supply the base config; the file's "
+        "sections override where they speak",
+    )
+    parser.add_argument(
         "--metrics", action="store_true",
         help="also dump the full metrics registry",
     )
@@ -272,6 +287,16 @@ def _run_runtime(command: str, argv: list[str]) -> int:
             )
             return EXIT_UNKNOWN_EXPERIMENT
 
+    if args.cluster is not None and args.brps != 1:
+        print(
+            "error: --cluster and --brps are mutually exclusive",
+            file=sys.stderr,
+        )
+        return EXIT_UNKNOWN_EXPERIMENT
+    if args.brps <= 0:
+        print(f"error: --brps must be positive, got {args.brps}", file=sys.stderr)
+        return EXIT_UNKNOWN_EXPERIMENT
+
     try:
         config = ServiceConfig(
             aggregation=AggregationConfig(
@@ -302,6 +327,8 @@ def _run_runtime(command: str, argv: list[str]) -> int:
             else {}
         )
         driver = registry.create(KIND_DRIVER, args.driver, **driver_kwargs)
+        if args.cluster is not None or args.brps > 1:
+            return _run_cluster(command, args, config, driver)
         client = LedmsClient(config, driver=driver)
         generator = LoadGenerator(rate_per_hour=args.rate, seed=args.seed)
     except ServiceError as exc:
@@ -324,6 +351,68 @@ def _run_runtime(command: str, argv: list[str]) -> int:
     if args.metrics:
         print()
         print(client.service.metrics.render())
+    return EXIT_OK
+
+
+def _run_cluster(command: str, args, config, driver) -> int:
+    """Multi-node mode of serve/loadtest: K BRPs + TSO over the bus.
+
+    ``--cluster FILE.json`` supplies per-BRP service sections and the TSO
+    section, layered over the flag-derived base config; ``--brps K``
+    replicates the flag-derived config as-is.  Every BRP replays its own
+    Poisson stream (seeded ``--seed + index``, so per-BRP traffic differs
+    but the whole cluster run is deterministic) on the one shared driver.
+    """
+    import json
+
+    from .api import ClusterConfig, ClusterRuntime
+    from .runtime import LoadGenerator
+
+    if args.cluster is not None:
+        try:
+            with open(args.cluster) as handle:
+                spec = json.load(handle)
+        except OSError as exc:
+            print(f"error: cannot read --cluster file: {exc}", file=sys.stderr)
+            return EXIT_UNKNOWN_EXPERIMENT
+        except json.JSONDecodeError as exc:
+            print(
+                f"error: --cluster file is not valid JSON: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_UNKNOWN_EXPERIMENT
+        if not isinstance(spec, dict):
+            print(
+                "error: --cluster file must hold a JSON object",
+                file=sys.stderr,
+            )
+            return EXIT_UNKNOWN_EXPERIMENT
+        # Flag-derived service settings underlie every BRP; the file's
+        # defaults/per-BRP sections override where they speak.
+        cluster_config = ClusterConfig.from_dict(spec, base=config)
+    else:
+        cluster_config = ClusterConfig.uniform(args.brps, config)
+    cluster = ClusterRuntime(cluster_config, driver=driver)
+    streams = {
+        name: LoadGenerator(
+            rate_per_hour=args.rate, seed=args.seed + index
+        ).stream(0.0, args.duration)
+        for index, name in enumerate(cluster.clients)
+    }
+    print(
+        f"### {command}: cluster of {len(cluster.clients)} BRPs + TSO, "
+        f"rate={args.rate}/h per BRP, duration={args.duration} slices "
+        f"seed={args.seed} driver={args.driver}"
+    )
+    report = cluster.run(
+        streams,
+        args.duration,
+        report_every=getattr(args, "report_every", None),
+    )
+    print(report.as_text())
+    if args.metrics:
+        print()
+        print(cluster.metrics().render())
     return EXIT_OK
 
 

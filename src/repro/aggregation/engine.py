@@ -606,6 +606,10 @@ class PackedAggregationPipeline:
         """Number of micro flex-offers currently in the pipeline."""
         return self.pool.live
 
+    def contains(self, offer_id: int) -> bool:
+        """Whether the pipeline currently holds the offer (flushed state)."""
+        return offer_id in self._offer_gid
+
     @property
     def aggregates(self) -> list[AggregatedFlexOffer]:
         """All currently maintained aggregated flex-offers."""

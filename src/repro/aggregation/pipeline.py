@@ -136,6 +136,10 @@ class AggregationPipeline:
         """Number of micro flex-offers currently in the pipeline."""
         return self.group_builder.offer_count
 
+    def contains(self, offer_id: int) -> bool:
+        """Whether the pipeline currently holds the offer (flushed state)."""
+        return self.group_builder.contains(offer_id)
+
 
 def aggregate_from_scratch(
     offers: Sequence[FlexOffer],

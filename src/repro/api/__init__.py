@@ -15,7 +15,11 @@ Everything a caller needs to run a node lives here, typed and composable:
 * :class:`ServiceConfig` — the composed runtime configuration
   (:class:`MarketConfig` / :class:`AggregationConfig` /
   :class:`SchedulingConfig` / :class:`IngestConfig`), replacing the flat
-  ``RuntimeConfig`` (which keeps working as a deprecated shim).
+  ``RuntimeConfig`` (which keeps working as a deprecated shim);
+* :class:`ClusterRuntime` / :class:`ClusterConfig` — the multi-node
+  runtime: one client per BRP over a ``node.bus``-backed adapter on a
+  shared time driver, with a :class:`TsoRuntimeService` scheduling tier
+  consuming each BRP's committed macro flex-offers.
 
 Only the registry is imported eagerly; the facade classes resolve lazily
 (PEP 562) so lower layers can consult the registry without import cycles.
@@ -34,6 +38,10 @@ from .registry import (
 
 __all__ = [
     "AggregationConfig",
+    "BusAdapter",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterRuntime",
     "IngestConfig",
     "KIND_AGGREGATION",
     "KIND_DRIVER",
@@ -53,6 +61,8 @@ __all__ = [
     "SimulatedDriver",
     "SubmitResult",
     "TimeDriver",
+    "TsoConfig",
+    "TsoRuntimeService",
     "WallClockDriver",
     "build_trigger",
     "default_registry",
@@ -77,6 +87,12 @@ _LAZY_EXPORTS = {
     "SimulatedDriver": "drivers",
     "TimeDriver": "drivers",
     "WallClockDriver": "drivers",
+    "BusAdapter": "cluster",
+    "ClusterConfig": "cluster",
+    "ClusterReport": "cluster",
+    "ClusterRuntime": "cluster",
+    "TsoConfig": "cluster",
+    "TsoRuntimeService": "cluster",
 }
 
 

@@ -1,0 +1,26 @@
+"""The multi-node cluster runtime, re-exported at the api layer.
+
+The implementations live in :mod:`repro.runtime.cluster` (they compose the
+service loop, the bus and the facade below this layer); this module is
+their canonical public import path::
+
+    from repro.api.cluster import ClusterRuntime, ClusterConfig, TsoConfig
+"""
+
+from ..runtime.cluster import (
+    BusAdapter,
+    ClusterConfig,
+    ClusterReport,
+    ClusterRuntime,
+    TsoConfig,
+    TsoRuntimeService,
+)
+
+__all__ = [
+    "BusAdapter",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterRuntime",
+    "TsoConfig",
+    "TsoRuntimeService",
+]

@@ -40,6 +40,30 @@ class MessageBus:
             raise CommunicationError(f"unknown recipient {message.recipient!r}")
         self._queue.append(message)
 
+    def try_send(self, message: Message) -> bool:
+        """Best-effort delivery: queue the message unless it cannot arrive.
+
+        The outage-aware counterpart of :meth:`send` for long-running
+        senders (the cluster runtime): a message to an unknown or currently
+        unreachable recipient is counted as dropped and ``False`` is
+        returned instead of raising — the paper's graceful degradation,
+        where a node outage means pending flexibilities simply time out.
+        A recipient that turns unreachable *after* queueing is still
+        dropped at dispatch time, as before.
+        """
+        if (
+            message.recipient not in self._handlers
+            or message.recipient in self._unreachable
+        ):
+            self.dropped += 1
+            return False
+        self._queue.append(message)
+        return True
+
+    def is_reachable(self, name: str) -> bool:
+        """Whether ``name`` is registered and not marked unreachable."""
+        return name in self._handlers and name not in self._unreachable
+
     # ------------------------------------------------------------------
     # failure injection
     # ------------------------------------------------------------------

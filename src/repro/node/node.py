@@ -100,9 +100,12 @@ class ProsumerNode(LedmsNode):
         """Compute the day's baseline and submit the day's flex-offers."""
         per_day = self.axis.slices_per_day
         values = np.zeros(horizon)
+        # The baseline covers one day; a horizon shorter than a day keeps
+        # only the overlap (same clip realized_load applies on read-back).
+        overlap = min(per_day, horizon)
         for device in self.devices:
             day_profile = device.baseline(day_start, rng)
-            values[: per_day] += day_profile
+            values[:overlap] += day_profile[:overlap]
         self._baseline = TimeSeries(day_start, values)
         self.store.register_energy_type("baseline", renewable=False)
         self.store.record_measurements(self.name, "baseline", self._baseline)
@@ -166,13 +169,19 @@ class ProsumerNode(LedmsNode):
         return ScheduledFlexOffer(offer, offer.earliest_start, energies)
 
     def executions(self) -> list[ScheduledFlexOffer]:
-        """What actually runs: schedules where received, fallbacks otherwise."""
+        """What actually runs: schedules where received, fallbacks otherwise.
+
+        Rejected offers never run — the BRP declined the flexibility, so the
+        device neither follows a schedule nor falls back to the open
+        contract for that offer.
+        """
         out = []
         for offer_id, offer in self.pending.items():
             scheduled = self.assignments.get(offer_id)
-            out.append(
-                scheduled if scheduled is not None else self.fallback_execution(offer)
-            )
+            if scheduled is not None:
+                out.append(scheduled)
+            elif offer_id not in self.rejected:
+                out.append(self.fallback_execution(offer))
         return out
 
     def realized_load(self, horizon_start: int, horizon: int) -> TimeSeries:

@@ -18,10 +18,20 @@ Most callers should go through the typed facade in :mod:`repro.api`
         EventQueue, SimulatedClock,
         FlexOfferIngest, ShardedFlexOfferIngest, LoadGenerator, MetricsRegistry,
         TriggerContext, CountTrigger, AgeTrigger, ImbalanceTrigger, AnyTrigger,
+        ClusterRuntime, ClusterConfig, ClusterReport,
+        TsoRuntimeService, TsoConfig, BusAdapter,
     )
 """
 
 from .clock import ClockError, EventQueue, SimulatedClock
+from .cluster import (
+    BusAdapter,
+    ClusterConfig,
+    ClusterReport,
+    ClusterRuntime,
+    TsoConfig,
+    TsoRuntimeService,
+)
 from .config import (
     AggregationConfig,
     IngestConfig,
@@ -33,7 +43,13 @@ from .config import (
 from .drivers import SimulatedDriver, TimeDriver, WallClockDriver
 from .ingest import FlexOfferIngest
 from .loadgen import LoadGenerator
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    aggregate_registries,
+)
 from .service import BrpRuntimeService, RuntimeReport
 from .sharding import ShardedFlexOfferIngest
 from .triggers import (
@@ -50,7 +66,11 @@ __all__ = [
     "AggregationConfig",
     "AnyTrigger",
     "BrpRuntimeService",
+    "BusAdapter",
     "ClockError",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterRuntime",
     "CountTrigger",
     "Counter",
     "EventQueue",
@@ -72,5 +92,8 @@ __all__ = [
     "TimeDriver",
     "TriggerContext",
     "TriggerPolicy",
+    "TsoConfig",
+    "TsoRuntimeService",
     "WallClockDriver",
+    "aggregate_registries",
 ]

@@ -1,0 +1,779 @@
+"""Multi-node runtime: per-BRP streaming services and a TSO tier over node.bus.
+
+The paper's EDMS is a *hierarchy* of LEDMS nodes — prosumers feed BRPs, and
+BRPs forward macro flex-offers to a TSO that "essentially repeats the
+process at a higher level".  PRs 1–4 built the streaming BRP node; this
+module runs a whole cluster of them the way the batch ``node/`` simulation
+runs its phase-driven hierarchy, but online:
+
+* one :class:`~repro.runtime.service.BrpRuntimeService` (behind its
+  :class:`~repro.api.LedmsClient` facade) per BRP, all sharing one
+  :class:`~repro.runtime.drivers.TimeDriver`, so cluster time is a single
+  axis — deterministic under :class:`~repro.runtime.drivers.
+  SimulatedDriver`, real under a wall clock;
+* a :class:`BusAdapter` bridging the :class:`~repro.node.bus.MessageBus`
+  onto the driver: ``send`` queues best-effort (an unreachable BRP counts
+  as dropped instead of raising — the paper's graceful degradation) and
+  arms one *pump* event via ``driver.post``, so every delivery runs on the
+  loop, in driver order — this is also the "real feed" seam, since a
+  wall-clock driver's ``post`` is thread-safe;
+* a :class:`TsoRuntimeService`: each BRP's ``on_plan_committed`` hook
+  publishes its committed macro aggregates
+  (:attr:`~repro.runtime.service.BrpRuntimeService.last_plan_originals`)
+  to the bus; the TSO re-aggregates the fleet's macros with the packed
+  engine, schedules system-wide through the registry-resolved scheduler,
+  and sends the scheduled macros back for per-BRP disaggregation
+  (:meth:`~repro.runtime.service.BrpRuntimeService.apply_remote_schedule`)
+  — the streaming equivalent of :meth:`repro.node.node.TsoNode.schedule`.
+
+:class:`ClusterRuntime` wires it all up from a :class:`ClusterConfig` (one
+:class:`~repro.api.ServiceConfig` section per BRP plus a :class:`TsoConfig`)
+and drives per-BRP arrival streams to a :class:`ClusterReport` of
+cluster-level metrics.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..aggregation.aggregator import AggregatedFlexOffer, disaggregate
+from ..aggregation.pipeline import make_pipeline
+from ..aggregation.thresholds import AggregationParameters
+from ..api.registry import (
+    KIND_AGGREGATION,
+    KIND_SCHEDULER,
+    default_registry,
+)
+from ..core.errors import CommunicationError, ServiceError
+from ..core.flexoffer import FlexOffer
+from ..core.schedule import ScheduledFlexOffer
+from ..core.timeseries import TimeSeries
+from ..node.bus import MessageBus
+from ..node.messages import Message, MessageType
+from ..scheduling import SchedulingProblem, SchedulingResult
+from .config import MarketConfig, ServiceConfig, _runtime_parameters
+from .drivers import SimulatedDriver, TimeDriver
+from .metrics import MetricsRegistry, aggregate_registries
+from .service import (
+    RuntimeReport,
+    _flat_market,
+    eligible_for_window,
+    net_forecast_window,
+)
+
+__all__ = [
+    "BusAdapter",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterRuntime",
+    "TsoConfig",
+    "TsoRuntimeService",
+]
+
+
+# ----------------------------------------------------------------------
+class BusAdapter:
+    """Bridges a :class:`MessageBus` onto a :class:`TimeDriver`.
+
+    ``send`` queues in the bus's best-effort mode
+    (:meth:`~repro.node.bus.MessageBus.try_send`: an unknown or unreachable
+    recipient is counted as dropped, never raised) and arms a single *pump*
+    callback through :meth:`TimeDriver.post`; when the pump runs — on the
+    driver's loop, at the current driver time — every queued message is
+    delivered to its registered handler.  Handlers therefore always execute
+    on the loop, in deterministic driver order, which is what lets one
+    simulated clock drive a whole cluster.  Under a
+    :class:`~repro.runtime.drivers.WallClockDriver` the same ``post`` is
+    thread-safe, so network threads can feed the bus without touching the
+    loop — the adapter *is* the real wall-clock feed.
+    """
+
+    def __init__(self, bus: MessageBus, driver: TimeDriver):
+        self.bus = bus
+        self.driver = driver
+        self._pump_armed = False
+
+    def register(self, name: str, handler: Callable[[Message], None]) -> None:
+        """Attach a node's handler under its unique bus name."""
+        self.bus.register(name, handler)
+
+    def set_unreachable(self, name: str, unreachable: bool = True) -> None:
+        """Simulate a node outage (messages to it count as dropped)."""
+        self.bus.set_unreachable(name, unreachable)
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        type_: MessageType,
+        payload: Any,
+        now: float,
+    ) -> bool:
+        """Queue one message and arm delivery; False when undeliverable."""
+        sent = self.bus.try_send(
+            Message(sender, recipient, type_, payload, int(now))
+        )
+        if sent and not self._pump_armed:
+            self._pump_armed = True
+            self.driver.post(self._pump)
+        return sent
+
+    def _pump(self) -> None:
+        self._pump_armed = False
+        self.bus.dispatch_all()
+
+    @property
+    def delivered(self) -> int:
+        """All-time messages delivered over this adapter's bus."""
+        return self.bus.total_delivered()
+
+    @property
+    def dropped(self) -> int:
+        """All-time messages dropped (unknown or unreachable recipients)."""
+        return self.bus.dropped
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TsoConfig:
+    """Configuration of the cluster's level-3 scheduling tier."""
+
+    engine: str = "packed"
+    """Aggregation engine re-aggregating BRP macros, by registry name."""
+    scheduler: str = "greedy"
+    """System-wide scheduler, by registry name (``runtime`` capability)."""
+    scheduler_passes: int = 2
+    horizon_slices: int = 192
+    trigger_refreshes: int = 2
+    """BRP macro-snapshot refreshes that trigger a TSO scheduling run."""
+    min_run_interval_slices: float = 4.0
+    """Cooldown between TSO runs, bounding re-plan thrash."""
+    parameters: AggregationParameters = field(
+        default_factory=_runtime_parameters
+    )
+    market: MarketConfig = field(default_factory=MarketConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        registry = default_registry()
+        if not registry.has(KIND_AGGREGATION, self.engine):
+            registry.get(KIND_AGGREGATION, self.engine)  # raises with names
+        registry.require_capability(KIND_SCHEDULER, self.scheduler, "runtime")
+        if self.scheduler_passes <= 0:
+            raise ServiceError("scheduler_passes must be positive")
+        if self.horizon_slices <= 0:
+            raise ServiceError("horizon_slices must be positive")
+        if self.trigger_refreshes <= 0:
+            raise ServiceError("trigger_refreshes must be positive")
+        if self.min_run_interval_slices < 0:
+            raise ServiceError("min_run_interval_slices must be non-negative")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TsoConfig":
+        """Build from a JSON-style mapping (``market`` may be nested)."""
+        values = dict(data)
+        if "parameters" in values:
+            raise ServiceError(
+                "TSO aggregation parameters cannot be configured from a "
+                "dict; pass parameters= to TsoConfig directly"
+            )
+        market = values.pop("market", None)
+        if market is not None:
+            if not isinstance(market, Mapping):
+                raise ServiceError("tso config section 'market' must be a mapping")
+            values["market"] = MarketConfig(**market)
+        try:
+            return cls(**values)
+        except TypeError as exc:
+            raise ServiceError(f"invalid tso config: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One :class:`~repro.api.ServiceConfig` per BRP plus the TSO tier."""
+
+    brps: Mapping[str, ServiceConfig]
+    tso: TsoConfig = field(default_factory=TsoConfig)
+    tso_name: str = "tso"
+
+    def __post_init__(self) -> None:
+        if not self.brps:
+            raise ServiceError("a cluster needs at least one BRP section")
+        if self.tso_name in self.brps:
+            raise ServiceError(
+                f"tso_name {self.tso_name!r} collides with a BRP name"
+            )
+        object.__setattr__(self, "brps", dict(self.brps))
+
+    @classmethod
+    def uniform(
+        cls,
+        count: int,
+        config: ServiceConfig | None = None,
+        *,
+        tso: TsoConfig | None = None,
+    ) -> "ClusterConfig":
+        """``count`` identically configured BRPs named ``brp-0`` … ``brp-K``."""
+        if count <= 0:
+            raise ServiceError(f"cluster BRP count must be positive, got {count}")
+        config = config if config is not None else ServiceConfig()
+        return cls(
+            brps={f"brp-{i}": config for i in range(count)},
+            tso=tso if tso is not None else TsoConfig(),
+        )
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Any],
+        *,
+        base: ServiceConfig | None = None,
+    ) -> "ClusterConfig":
+        """Build a cluster config from a JSON-style mapping.
+
+        ``brps`` is either an integer (that many default BRPs) or a mapping
+        of BRP name to a :meth:`ServiceConfig.from_dict` section (``{}``
+        for defaults); ``defaults`` supplies the base section every BRP
+        starts from; ``tso`` configures the level-3 tier::
+
+            {"brps": {"north": {"scheduling": {"horizon_slices": 96}},
+                      "south": {}},
+             "defaults": {"ingest": {"batch_size": 32}},
+             "tso": {"trigger_refreshes": 4}}
+
+        ``base`` (e.g. the CLI's flag-derived :class:`ServiceConfig`)
+        underlies everything: fields neither a BRP section nor ``defaults``
+        mentions keep its values.
+        """
+        known = {"brps", "defaults", "tso", "tso_name"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ServiceError(
+                f"unknown cluster config keys {', '.join(map(repr, unknown))}; "
+                f"known keys: {', '.join(sorted(known))}"
+            )
+        defaults = data.get("defaults", {})
+        if not isinstance(defaults, Mapping):
+            raise ServiceError("cluster config 'defaults' must be a mapping")
+        brps_spec = data.get("brps", 1)
+        if isinstance(brps_spec, bool) or not isinstance(
+            brps_spec, (int, Mapping)
+        ):
+            raise ServiceError(
+                "cluster config 'brps' must be an integer count or a "
+                "mapping of BRP name to service-config section"
+            )
+        if isinstance(brps_spec, int):
+            if brps_spec <= 0:
+                raise ServiceError("cluster BRP count must be positive")
+            uniform = ServiceConfig.from_dict(defaults, base=base)
+            brps = {f"brp-{i}": uniform for i in range(brps_spec)}
+        else:
+            brps = {}
+            for name, section in brps_spec.items():
+                if not isinstance(section, Mapping):
+                    raise ServiceError(
+                        f"cluster BRP section {name!r} must be a mapping"
+                    )
+                merged = dict(defaults)
+                for key, value in section.items():
+                    if (
+                        key in merged
+                        and isinstance(merged[key], Mapping)
+                        and isinstance(value, Mapping)
+                    ):
+                        merged[key] = {**merged[key], **value}
+                    else:
+                        merged[key] = value
+                brps[name] = ServiceConfig.from_dict(merged, base=base)
+        tso_spec = data.get("tso", {})
+        if not isinstance(tso_spec, Mapping):
+            raise ServiceError("cluster config 'tso' must be a mapping")
+        return cls(
+            brps=brps,
+            tso=TsoConfig.from_dict(tso_spec),
+            tso_name=data.get("tso_name", "tso"),
+        )
+
+
+# ----------------------------------------------------------------------
+class TsoRuntimeService:
+    """The streaming level-3 node: re-aggregate BRP macros, schedule, reply.
+
+    BRPs publish ``MACRO_FLEX_OFFER`` messages whose payload is the BRP's
+    full committed macro snapshot (a tuple of
+    :class:`~repro.aggregation.aggregator.AggregatedFlexOffer`); each
+    snapshot *replaces* that BRP's previous one, so the TSO's macro pool
+    always mirrors the fleet's latest committed plans (a pool change always
+    materialises new aggregate ids, so retaining stale snapshots would
+    double-count).  After ``trigger_refreshes`` snapshot refreshes (and a
+    cooldown), the TSO re-aggregates the pool once more — "the process is
+    essentially repeated at a higher level" — schedules the
+    super-aggregates system-wide, disaggregates its plan back into
+    scheduled macros, and returns each to its home BRP over the bus in
+    best-effort mode, so an unreachable BRP degrades to dropped messages.
+    """
+
+    def __init__(
+        self,
+        config: TsoConfig | None = None,
+        *,
+        adapter: BusAdapter,
+        name: str = "tso",
+        metrics: MetricsRegistry | None = None,
+        net_forecast: TimeSeries | None = None,
+    ):
+        self.config = config if config is not None else TsoConfig()
+        self.adapter = adapter
+        self.name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.net_forecast = net_forecast
+        self.scheduler = default_registry().create_with_capability(
+            KIND_SCHEDULER, self.config.scheduler, "runtime"
+        )
+        self._rng = np.random.default_rng(self.config.seed)
+        self._macros_by_brp: dict[str, dict[int, AggregatedFlexOffer]] = {}
+        self._macro_home: dict[int, str] = {}
+        self._pending_refreshes = 0
+        self._last_run_time = -math.inf
+        self.last_plan_cost = float("nan")
+        adapter.register(name, self.handle_message)
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.adapter.driver.now
+
+    @property
+    def macro_count(self) -> int:
+        """Macro flex-offers currently in the pool, across all BRPs."""
+        return len(self._macro_home)
+
+    @property
+    def scheduling_runs(self) -> int:
+        return int(self.metrics.counter("tso.runs").value)
+
+    @property
+    def macros_returned(self) -> int:
+        return int(self.metrics.counter("tso.macros_returned").value)
+
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        if message.type is not MessageType.MACRO_FLEX_OFFER:
+            raise CommunicationError(f"{self.name}: unexpected {message.type}")
+        self.receive_snapshot(message.sender, message.payload)
+
+    def receive_snapshot(
+        self, brp: str, macros: Iterable[AggregatedFlexOffer]
+    ) -> None:
+        """Replace ``brp``'s macro set with its latest committed snapshot."""
+        fresh = {macro.offer_id: macro for macro in macros}
+        for offer_id in self._macros_by_brp.get(brp, ()):
+            self._macro_home.pop(offer_id, None)
+        self._macros_by_brp[brp] = fresh
+        for offer_id in fresh:
+            self._macro_home[offer_id] = brp
+        self._pending_refreshes += 1
+        self.metrics.counter("tso.macro_snapshots").inc()
+        self.metrics.counter("tso.macros_received").inc(len(fresh))
+        self.metrics.gauge("tso.macro_pool").set(self.macro_count)
+        self.maybe_schedule()
+
+    # ------------------------------------------------------------------
+    def maybe_schedule(self, force: bool = False) -> SchedulingResult | None:
+        """Run system-wide scheduling when enough snapshots refreshed."""
+        if not force:
+            if self._pending_refreshes < self.config.trigger_refreshes:
+                return None
+            if self.now - self._last_run_time < self.config.min_run_interval_slices:
+                return None
+        return self.run_scheduling()
+
+    def run_scheduling(self) -> SchedulingResult | None:
+        """One system-wide run over the eligible macro pool."""
+        self._last_run_time = self.now
+        self._pending_refreshes = 0
+        self.metrics.counter("tso.runs").inc()
+        start = int(math.ceil(self.now))
+        end = start + self.config.horizon_slices
+
+        eligible: list[AggregatedFlexOffer] = []
+        # Deterministic pool order regardless of snapshot arrival
+        # interleaving.  Eligibility is the same rule as the BRP pool walk;
+        # the clip is not applied here — macros enter re-aggregation with
+        # their full windows, and the clip happens at the super level.
+        for brp in sorted(self._macros_by_brp):
+            macros = self._macros_by_brp[brp]
+            for offer_id in sorted(macros):
+                macro = macros[offer_id]
+                if eligible_for_window(macro, start, end) is not None:
+                    eligible.append(macro)
+        if not eligible:
+            self.metrics.counter("tso.empty_runs").inc()
+            return None
+
+        # Re-aggregate the fleet's macros once more (level 3 of the paper's
+        # hierarchy); a fresh pipeline per run — the macro pool is orders of
+        # magnitude smaller than any BRP's micro pool.
+        pipeline = make_pipeline(self.config.parameters, engine=self.config.engine)
+        pipeline.submit_inserts(eligible)
+        pipeline.run()
+
+        # Aggregation shrinks the window to the least-flexible member, so a
+        # super-aggregate can be unschedulable even when every macro in it
+        # was eligible; re-apply the same eligibility rule at this level
+        # (ineligible supers simply wait for the next run).  Clipped supers
+        # are scheduled on the clipped window but disaggregated against the
+        # original, whose member offsets anchor at the unclipped start.
+        supers = []
+        offers = []
+        for original in sorted(pipeline.aggregates, key=lambda a: a.offer_id):
+            aggregate = eligible_for_window(original, start, end)
+            if aggregate is None:
+                continue
+            supers.append(original)
+            offers.append(aggregate)
+        if not offers:
+            self.metrics.counter("tso.empty_runs").inc()
+            return None
+        problem = SchedulingProblem(
+            net_forecast=net_forecast_window(self.net_forecast, start, end),
+            offers=tuple(offers),
+            market=_flat_market(
+                end - start,
+                self.config.market.buy_price,
+                self.config.market.sell_price,
+            ),
+            shortage_penalty=np.array(self.config.market.shortage_penalty),
+            surplus_penalty=np.array(self.config.market.surplus_penalty),
+        )
+        t0 = time.perf_counter()
+        result = self.scheduler.schedule(
+            problem, max_passes=self.config.scheduler_passes, rng=self._rng
+        )
+        self.metrics.histogram("tso.run_seconds").observe(
+            time.perf_counter() - t0
+        )
+        self.last_plan_cost = float(result.cost)
+        self.metrics.gauge("tso.last_cost").set(result.cost)
+
+        returned = 0
+        schedule = problem.to_schedule(result.solution)
+        for scheduled_super, original in zip(schedule, supers):
+            anchored = ScheduledFlexOffer(
+                original, scheduled_super.start, scheduled_super.energies
+            )
+            for scheduled_macro in disaggregate(anchored):
+                home = self._macro_home.get(scheduled_macro.offer.offer_id)
+                if home is None:
+                    continue
+                if self.adapter.send(
+                    self.name,
+                    home,
+                    MessageType.SCHEDULED_MACRO_FLEX_OFFER,
+                    scheduled_macro,
+                    start,
+                ):
+                    returned += 1
+        self.metrics.counter("tso.macros_returned").inc(returned)
+        return result
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class ClusterReport:
+    """Cluster-level summary of one multi-node run."""
+
+    duration_slices: float
+    wall_seconds: float
+    brp_reports: dict[str, RuntimeReport]
+    tso_scheduling_runs: int
+    tso_macro_snapshots: int
+    tso_macros_returned: int
+    tso_plan_cost: float
+    remote_commits: int
+    """Micro offers committed from TSO plans, summed across BRPs."""
+    bus_delivered: int
+    bus_dropped: int
+    latency_slices_p50: float = 0.0
+    latency_slices_p95: float = 0.0
+
+    def _sum(self, attribute: str) -> int:
+        return sum(getattr(r, attribute) for r in self.brp_reports.values())
+
+    @property
+    def brp_count(self) -> int:
+        return len(self.brp_reports)
+
+    @property
+    def offers_submitted(self) -> int:
+        return self._sum("offers_submitted")
+
+    @property
+    def offers_accepted(self) -> int:
+        return self._sum("offers_accepted")
+
+    @property
+    def offers_scheduled(self) -> int:
+        return self._sum("offers_scheduled")
+
+    @property
+    def offers_executed(self) -> int:
+        return self._sum("offers_executed")
+
+    @property
+    def offers_expired(self) -> int:
+        return self._sum("offers_expired")
+
+    @property
+    def scheduling_runs(self) -> int:
+        return self._sum("scheduling_runs")
+
+    @property
+    def offers_per_second(self) -> float:
+        """Aggregate wall-clock ingest throughput of the whole cluster."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.offers_accepted / self.wall_seconds
+
+    def as_text(self) -> str:
+        lines = [
+            f"cluster               {self.brp_count} BRPs + TSO",
+            f"simulated duration    {self.duration_slices:g} slices",
+            f"wall time             {self.wall_seconds:.3f} s",
+            f"offers submitted      {self.offers_submitted}",
+            f"offers accepted       {self.offers_accepted}",
+            f"offers scheduled      {self.offers_scheduled}",
+            f"offers executed       {self.offers_executed}",
+            f"offers expired        {self.offers_expired}",
+            f"throughput            {self.offers_per_second:.1f} offers/sec "
+            "(aggregate)",
+            f"e2e latency (sim)     p50={self.latency_slices_p50:.2f} "
+            f"p95={self.latency_slices_p95:.2f} slices",
+            f"BRP scheduling runs   {self.scheduling_runs}",
+            f"TSO runs              {self.tso_scheduling_runs} "
+            f"({self.tso_macro_snapshots} snapshots in, "
+            f"{self.tso_macros_returned} macros back)",
+            f"TSO plan cost         {self.tso_plan_cost:.2f} EUR",
+            f"remote commits        {self.remote_commits} micro offers",
+            f"bus traffic           {self.bus_delivered} delivered / "
+            f"{self.bus_dropped} dropped",
+        ]
+        width = max(len(name) for name in self.brp_reports)
+        for name in sorted(self.brp_reports):
+            report = self.brp_reports[name]
+            lines.append(
+                f"  {name.ljust(width)}  accepted={report.offers_accepted} "
+                f"scheduled={report.offers_scheduled} "
+                f"sched_runs={report.scheduling_runs} "
+                f"p95={report.latency_slices_p95:.2f}sl"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+class ClusterRuntime:
+    """K BRP streaming services + one TSO over a shared driver and bus."""
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        *,
+        driver: TimeDriver | None = None,
+        bus: MessageBus | None = None,
+        tso_net_forecast: TimeSeries | None = None,
+    ):
+        # Imported lazily: the api facade sits above the runtime package.
+        from ..api.client import LedmsClient
+
+        self.config = config if config is not None else ClusterConfig.uniform(2)
+        self.driver: TimeDriver = (
+            driver if driver is not None else SimulatedDriver()
+        )
+        self.bus = bus if bus is not None else MessageBus()
+        self.adapter = BusAdapter(self.bus, self.driver)
+        self.tso = TsoRuntimeService(
+            self.config.tso,
+            adapter=self.adapter,
+            name=self.config.tso_name,
+            net_forecast=tso_net_forecast,
+        )
+        self.clients: dict[str, LedmsClient] = {}
+        for name, service_config in self.config.brps.items():
+            client = LedmsClient(service_config, driver=self.driver)
+            self.clients[name] = client
+            self._wire_brp(name, client)
+
+    # ------------------------------------------------------------------
+    def _wire_brp(self, name: str, client) -> None:
+        service = client.service
+
+        @client.on_plan_committed
+        def publish(plan_view, _name=name, _service=service):
+            # The hook fires after every committed local plan; the payload
+            # is the node's full macro snapshot (unclipped originals), which
+            # replaces the TSO's previous view of this BRP.
+            macros = _service.last_plan_originals
+            if macros:
+                self.adapter.send(
+                    _name,
+                    self.config.tso_name,
+                    MessageType.MACRO_FLEX_OFFER,
+                    macros,
+                    _service.now,
+                )
+
+        def handle(message: Message, _service=service) -> None:
+            if message.type is not MessageType.SCHEDULED_MACRO_FLEX_OFFER:
+                raise CommunicationError(f"{name}: unexpected {message.type}")
+            _service.apply_remote_schedule(message.payload)
+
+        self.adapter.register(name, handle)
+
+    # ------------------------------------------------------------------
+    @property
+    def remote_commits(self) -> int:
+        """Micro offers committed from TSO plans, summed across BRPs."""
+        return int(
+            sum(
+                client.service.metrics.counter("cluster.remote_commits").value
+                for client in self.clients.values()
+            )
+        )
+
+    def set_unreachable(self, name: str, unreachable: bool = True) -> None:
+        """Mark one BRP as down; bus traffic to it drops instead of raising."""
+        self.adapter.set_unreachable(name, unreachable)
+
+    def metrics(self) -> MetricsRegistry:
+        """Cluster-level aggregation of every BRP's metrics registry.
+
+        Counters and gauges sum by name; latency histograms pool their
+        observations, so cluster-wide p50/p95 come from the merged
+        distribution rather than a max-of-maxima.  The TSO's ``tso.*``
+        instruments ride along (its names are disjoint from the BRPs').
+        """
+        return aggregate_registries(
+            [client.service.metrics for client in self.clients.values()]
+            + [self.tso.metrics]
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        streams: Mapping[str, Iterable[tuple[float, FlexOffer]]],
+        duration_slices: float,
+        *,
+        report_every: float | None = None,
+        report_sink: Callable[[str], None] = print,
+    ) -> ClusterReport:
+        """Drive every BRP through its arrival stream for the window.
+
+        ``streams`` maps BRP name to an iterable of ``(time, offer)`` pairs
+        in non-decreasing time order (e.g. one
+        :meth:`~repro.runtime.loadgen.LoadGenerator.stream` per BRP, with
+        per-BRP seeds).  All arrivals, expiry sweeps, bus deliveries and
+        TSO runs execute on the one shared driver, so a simulated cluster
+        run is exactly reproducible.  After the window closes, every BRP
+        drains (sweep, flush, forced plan), the resulting macro snapshots
+        are delivered, and the TSO runs once more so the final system plan
+        reaches every reachable BRP.
+        """
+        unknown = sorted(set(streams) - set(self.clients))
+        if unknown:
+            raise ServiceError(
+                f"streams for unknown BRPs {', '.join(map(repr, unknown))}"
+            )
+        if report_every is not None and report_every <= 0:
+            raise ServiceError(
+                f"report_every must be positive, got {report_every}"
+            )
+        t_wall = time.perf_counter()
+        start = self.driver.now
+        end = start + duration_slices
+
+        # Each service arms its own arrival chain (with the hold-and-replay
+        # lookahead contract) and sweep ticks on the shared driver.
+        for name, arrivals in streams.items():
+            self.clients[name].service.arm_arrivals(arrivals, end)
+        for client in self.clients.values():
+            client.service.arm_sweep_ticks(end)
+        if report_every is not None:
+            self._arm_report(report_every, end, report_sink)
+
+        self.driver.run_until(end)
+
+        # Drain: every BRP retires closed windows and commits a final local
+        # plan (publishing macro snapshots), deliveries cascade, then the
+        # TSO plans once over the fleet's final state and its scheduled
+        # macros flow back down.
+        for client in self.clients.values():
+            service = client.service
+            service.sweep_expired()
+            service.run_aggregation()
+            service.maybe_schedule(force=True)
+        self.driver.run_until(self.driver.now)
+        if self.tso._pending_refreshes:
+            self.tso.run_scheduling()
+            self.driver.run_until(self.driver.now)
+
+        return self.report(
+            duration_slices=duration_slices,
+            wall_seconds=time.perf_counter() - t_wall,
+        )
+
+    # ------------------------------------------------------------------
+    def _arm_report(
+        self, every: float, end: float, sink: Callable[[str], None]
+    ) -> None:
+        def tick() -> None:
+            live = sum(c.service.live_offers for c in self.clients.values())
+            scheduled = sum(
+                c.service.scheduled_total for c in self.clients.values()
+            )
+            sink(
+                f"[t={self.driver.now:8.1f}] brps={len(self.clients)} "
+                f"live={live} scheduled={scheduled} "
+                f"tso_runs={self.tso.scheduling_runs} "
+                f"bus={self.adapter.delivered}/{self.adapter.dropped}d"
+            )
+            next_time = self.driver.now + every
+            if next_time < end:
+                self.driver.schedule_at(next_time, tick)
+
+        self.driver.schedule_at(min(self.driver.now + every, end), tick)
+
+    # ------------------------------------------------------------------
+    def report(
+        self, *, duration_slices: float, wall_seconds: float
+    ) -> ClusterReport:
+        """Snapshot the cluster into a :class:`ClusterReport`."""
+        brp_reports = {
+            name: client.service.report(
+                duration_slices=duration_slices, wall_seconds=wall_seconds
+            )
+            for name, client in self.clients.items()
+        }
+        merged = self.metrics()
+        latency = merged.histogram("latency.e2e_slices")
+        return ClusterReport(
+            duration_slices=duration_slices,
+            wall_seconds=wall_seconds,
+            brp_reports=brp_reports,
+            tso_scheduling_runs=self.tso.scheduling_runs,
+            tso_macro_snapshots=int(
+                self.tso.metrics.counter("tso.macro_snapshots").value
+            ),
+            tso_macros_returned=self.tso.macros_returned,
+            tso_plan_cost=self.tso.last_plan_cost,
+            remote_commits=self.remote_commits,
+            bus_delivered=self.adapter.delivered,
+            bus_dropped=self.adapter.dropped,
+            latency_slices_p50=latency.p50,
+            latency_slices_p95=latency.p95,
+        )

@@ -296,7 +296,12 @@ class ServiceConfig:
         )
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceConfig":
+    def from_dict(
+        cls,
+        data: Mapping[str, Any],
+        *,
+        base: "ServiceConfig | None" = None,
+    ) -> "ServiceConfig":
         """Build a config from a JSON-style mapping.
 
         Accepts nested sections (``{"scheduling": {"horizon_slices": 96}}``)
@@ -308,6 +313,10 @@ class ServiceConfig:
                 {"kind": "count", "threshold": 200},
                 {"kind": "age", "max_age_slices": 16}
             ]}}
+
+        ``base`` supplies the configuration every unmentioned field falls
+        back to (instead of the built-in defaults) — how the cluster CLI
+        layers file sections over flag-derived settings.
         """
         sections = ("market", "aggregation", "scheduling", "ingest")
         flat: dict[str, Any] = {}
@@ -329,7 +338,7 @@ class ServiceConfig:
         trigger_spec = nested.get("scheduling", {}).pop("trigger", None)
         if trigger_spec is None:
             trigger_spec = flat.pop("trigger", None)
-        config = cls.from_flat(**flat)
+        config = base.merged(**flat) if base is not None else cls.from_flat(**flat)
         section_updates = {
             section: replace(getattr(config, section), **values)
             for section, values in nested.items()

@@ -79,6 +79,12 @@ class FlexOfferIngest:
         """Micro flex-offers currently held by the pipeline behind this ingest."""
         return self.pipeline.input_count
 
+    def contains(self, offer_id: int) -> bool:
+        """Whether this ingest holds the offer (flushed or awaiting flush)."""
+        return self.pipeline.contains(offer_id) or any(
+            offer.offer_id == offer_id for offer in self._batch
+        )
+
     # ------------------------------------------------------------------
     def _record(self, offer: FlexOffer, state: str, now: int) -> None:
         if self.store is None:

@@ -21,7 +21,13 @@ import numpy as np
 
 from ..core.errors import ServiceError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "aggregate_registries",
+]
 
 
 class Counter:
@@ -120,6 +126,55 @@ class Histogram:
     def p95(self) -> float:
         return self.quantile(0.95)
 
+    @property
+    def observations(self) -> tuple[float, ...]:
+        """The retained (possibly sampled) observations, read-only.
+
+        What cross-registry aggregation pools to compute cluster-wide
+        quantiles; below the reservoir bound this is every observation.
+        """
+        return tuple(self._values)
+
+    def merge_with(self, other: "Histogram") -> None:
+        """Fold another histogram's population into this one.
+
+        Exact while the combined retained samples fit the reservoir.  Past
+        it, each source keeps a share of the merged reservoir proportional
+        to its share of the combined *population* (stratified, seeded,
+        deterministic) — feeding one saturated source through ``observe``
+        would instead let the first source's count crush the second's
+        replacement probability and skew the pooled quantiles.
+        """
+        ours = list(self._values)
+        theirs = list(other._values)
+        count = self.count + other.count
+        total = self.total + other.total
+        if ours and theirs and len(ours) + len(theirs) > self._capacity:
+            keep_ours = min(
+                len(ours),
+                max(1, round(self._capacity * self.count / count)),
+            )
+            keep_theirs = min(len(theirs), self._capacity - keep_ours)
+            rng = np.random.default_rng(0xC0FFEE)
+            ours = list(rng.choice(ours, size=keep_ours, replace=False))
+            theirs = list(rng.choice(theirs, size=keep_theirs, replace=False))
+        self._values = (ours + theirs)[: self._capacity]
+        self.count = count
+        self.total = total
+
+
+def aggregate_registries(registries) -> MetricsRegistry:
+    """Merge several registries into one cluster-level view.
+
+    Used by the multi-node runtime to report fleet totals: counters and
+    gauges sum by name, histograms pool observations for cluster-wide
+    quantiles.  The sources are left untouched.
+    """
+    merged = MetricsRegistry()
+    for registry in registries:
+        merged.merge_from(registry)
+    return merged
+
 
 class MetricsRegistry:
     """Named instruments, created on first use.
@@ -171,6 +226,23 @@ class MetricsRegistry:
             else:
                 out[name] = instrument.value
         return out
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one, by name.
+
+        Counters and gauges add; histograms pool via
+        :meth:`Histogram.merge_with` (exact while the combined samples fit
+        the reservoir, proportionally stratified past it).  Mismatched
+        instrument kinds under one name raise, as they would within a
+        single registry.
+        """
+        for name, instrument in other.items():
+            if isinstance(instrument, Counter):
+                self.counter(name).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                self.gauge(name).inc(instrument.value)
+            else:
+                self.histogram(name).merge_with(instrument)
 
     def render(self) -> str:
         """Human-readable multi-line snapshot of every instrument."""

@@ -71,6 +71,52 @@ def _flat_market(length: int, buy_price: float, sell_price: float) -> Market:
     return Market.flat(length, buy_price=buy_price, sell_price=sell_price)
 
 
+def eligible_for_window(
+    aggregate: AggregatedFlexOffer, start: int, end: int
+) -> AggregatedFlexOffer | None:
+    """The schedulable form of ``aggregate`` for ``[start, end)``, or None.
+
+    One definition of plan eligibility for both scheduling tiers (the BRP
+    pool walk and the TSO's super-aggregates): an aggregate is out when its
+    start window closed, its profile cannot finish inside the horizon, or
+    the tightest member assignment deadline passed.  An aggregate whose
+    earliest start passed while the window is still open is *clipped* to
+    start no earlier than ``start`` — the caller must disaggregate against
+    the unclipped original, whose member offsets are anchored at the
+    original earliest start.
+    """
+    if (
+        aggregate.latest_start < start
+        or aggregate.latest_start + aggregate.duration > end
+    ):
+        return None
+    if (
+        aggregate.assignment_before is not None
+        and aggregate.assignment_before <= start
+    ):
+        return None
+    if aggregate.earliest_start < start:
+        return aggregate.with_times(start, aggregate.latest_start)
+    return aggregate
+
+
+def net_forecast_window(
+    series: TimeSeries | None, start: int, end: int
+) -> TimeSeries:
+    """The forecast restricted to ``[start, end)``, zero-padded outside.
+
+    Shared by the BRP loop and the TSO tier: both price residuals against
+    a rolling window of the (optional) non-flexible net forecast.
+    """
+    values = np.zeros(end - start)
+    if series is not None:
+        lo = max(start, series.start)
+        hi = min(end, series.end)
+        if hi > lo:
+            values[lo - start : hi - start] = series.window(lo, hi).values
+    return TimeSeries(start, values)
+
+
 @dataclass
 class RuntimeReport:
     """Summary of one runtime/load-test run."""
@@ -193,6 +239,12 @@ class BrpRuntimeService:
         )
         self.pool: dict[str, AggregateUpdate] = {}
         self.last_schedule = None
+        #: The *unclipped* pool aggregates behind :attr:`last_schedule`, in
+        #: assignment order — what a cluster's BRP publishes as its
+        #: committed macro flex-offers to the TSO tier (member offsets are
+        #: anchored at the unclipped earliest start, so these are the
+        #: objects remote disaggregation must run against).
+        self.last_plan_originals: tuple[AggregatedFlexOffer, ...] = ()
         #: Callbacks invoked with each non-empty :class:`SchedulingResult`
         #: after its plan has been committed (the facade's
         #: ``on_plan_committed`` hook attaches here).
@@ -389,29 +441,10 @@ class BrpRuntimeService:
         # on how updates interleaved (and, under sharded ingest, on the hash
         # partition), but the plan for a given pool must not.
         for gid in sorted(self.pool):
-            update = self.pool[gid]
-            aggregate = update.aggregate
-            if (
-                aggregate.latest_start < start
-                or aggregate.latest_start + aggregate.duration > end
-            ):
+            original = self.pool[gid].aggregate
+            aggregate = eligible_for_window(original, start, end)
+            if aggregate is None:
                 continue
-            if (
-                aggregate.assignment_before is not None
-                and aggregate.assignment_before <= start
-            ):
-                # The tightest member assignment deadline passed while the
-                # aggregate waited; scheduling it now would break the
-                # commitment (same rule the ingest stage applies on entry).
-                continue
-            original = aggregate
-            if aggregate.earliest_start < start:
-                # The earliest start passed while the offer waited, but the
-                # window is still open: clip rather than strand it.  The
-                # scheduler sees the clipped window; disaggregation uses the
-                # original aggregate, whose member offsets are anchored at
-                # the unclipped earliest start.
-                aggregate = aggregate.with_times(start, aggregate.latest_start)
             eligible.append((gid, aggregate))
             originals.append(original)
         if not eligible:
@@ -419,7 +452,7 @@ class BrpRuntimeService:
             return None
 
         problem = SchedulingProblem(
-            net_forecast=self._net_forecast_window(start, end),
+            net_forecast=net_forecast_window(self.net_forecast, start, end),
             offers=tuple(aggregate for _, aggregate in eligible),
             market=_flat_market(
                 end - start, self.config.buy_price, self.config.sell_price
@@ -449,20 +482,11 @@ class BrpRuntimeService:
             self._warm[gid] = (int(start_slice), np.asarray(energies).copy())
 
         self.last_schedule = problem.to_schedule(result.solution)
+        self.last_plan_originals = tuple(originals)
         self._disaggregate(self.last_schedule, originals)
         for listener in self.plan_listeners:
             listener(result)
         return result
-
-    def _net_forecast_window(self, start: int, end: int) -> TimeSeries:
-        values = np.zeros(end - start)
-        series = self.net_forecast
-        if series is not None:
-            lo = max(start, series.start)
-            hi = min(end, series.end)
-            if hi > lo:
-                values[lo - start : hi - start] = series.window(lo, hi).values
-        return TimeSeries(start, values)
 
     def _warm_candidate(
         self, eligible: list[tuple[str, AggregatedFlexOffer]]
@@ -528,24 +552,81 @@ class BrpRuntimeService:
             delta = assignment.start - original.earliest_start
             for member in original.members:
                 members_out += 1
-                oid = member.offer_id
-                if oid not in self._live:
-                    continue
-                self._committed_start[oid] = member.earliest_start + delta
-                if oid in self._scheduled:
-                    continue
-                self._scheduled.add(oid)
-                self._scheduled_total += 1
-                self._unscheduled_energy -= self._offer_energy(self._live[oid])
-                latency_sim.observe(self.now - self._arrival_sim[oid])
-                latency_wall.observe(
-                    time.perf_counter() - self._arrival_wall[oid]
+                self._commit_member(
+                    member,
+                    member.earliest_start + delta,
+                    now,
+                    latency_sim,
+                    latency_wall,
                 )
-                self.store.record_offer_event(member.owner, member, "scheduled", now)
         self._plan_cache = fresh_cache
         self.metrics.counter("disaggregate.assignments").inc(members_out)
         self.metrics.counter("disaggregate.unchanged_skipped").inc(skipped)
         self.metrics.gauge("schedule.unique_scheduled").set(self._scheduled_total)
+
+    def _commit_member(
+        self, member: FlexOffer, start: int, now: int, latency_sim, latency_wall
+    ) -> bool:
+        """Record one member's committed start; returns True when still live.
+
+        The latency histograms are passed in (hoisted by the caller): this
+        runs for every member of every assignment on every re-plan.
+        """
+        oid = member.offer_id
+        if oid not in self._live:
+            return False
+        self._committed_start[oid] = start
+        if oid not in self._scheduled:
+            self._scheduled.add(oid)
+            self._scheduled_total += 1
+            self._unscheduled_energy -= self._offer_energy(self._live[oid])
+            latency_sim.observe(self.now - self._arrival_sim[oid])
+            latency_wall.observe(time.perf_counter() - self._arrival_wall[oid])
+            self.store.record_offer_event(member.owner, member, "scheduled", now)
+        return True
+
+    def apply_remote_schedule(self, scheduled) -> int:
+        """Commit a TSO-scheduled macro back onto this node's members.
+
+        The downlink of the cluster's level-3 path — the streaming
+        counterpart of :meth:`repro.node.node.BrpNode.
+        disaggregate_tso_schedule`.  ``scheduled`` fixes one of this node's
+        own published aggregates (see :attr:`last_plan_originals`); its
+        admissible start shift maps to every member as-is (the §4
+        disaggregation guarantee), and those start commitments replace
+        whatever the local plan had committed — the TSO's system-wide
+        placement wins.  Like the local `_disaggregate` path, only start
+        commitments are derived here; per-slice energy disaggregation
+        (:func:`repro.aggregation.disaggregate`) stays a dispatch-time
+        concern.  Members that retired while the plan travelled are
+        skipped.  Returns the number of members committed.
+        """
+        aggregate = scheduled.offer
+        if not isinstance(aggregate, AggregatedFlexOffer):
+            raise ServiceError(
+                f"remote schedule for offer {aggregate.offer_id} is not an "
+                "aggregated flex-offer"
+            )
+        now = self._now_slice
+        latency_sim = self.metrics.histogram("latency.e2e_slices")
+        latency_wall = self.metrics.histogram("latency.e2e_wall_seconds")
+        delta = scheduled.start - aggregate.earliest_start
+        committed = 0
+        for member in aggregate.members:
+            if self._commit_member(
+                member,
+                member.earliest_start + delta,
+                now,
+                latency_sim,
+                latency_wall,
+            ):
+                committed += 1
+        # A remote commitment supersedes the cached local plan for this
+        # aggregate: the next local re-plan must re-commit the members even
+        # when it reproduces the same placement.
+        self._plan_cache.pop(aggregate.offer_id, None)
+        self.metrics.counter("cluster.remote_commits").inc(committed)
+        return committed
 
     # ------------------------------------------------------------------
     # expiry
@@ -610,6 +691,59 @@ class BrpRuntimeService:
     # ------------------------------------------------------------------
     # the loop
     # ------------------------------------------------------------------
+    def arm_arrivals(
+        self, arrivals: Iterable[tuple[float, FlexOffer]], end: float
+    ) -> None:
+        """Lazily chain an arrival stream onto the driver until ``end``.
+
+        One pending arrival at a time, so arbitrarily long streams run in
+        constant memory.  The lookahead pulled to discover the window
+        closed is held and replayed by a later call on the *same* iterator
+        — the multi-window replay contract :meth:`run_stream` (and the
+        cluster runtime) rely on.
+        """
+        arrivals_iter = iter(arrivals)
+        # A previous window on this same iterator may have pulled one
+        # arrival beyond its end to discover the window closed; replay it.
+        if (
+            self._stream_overflow is not None
+            and self._stream_overflow[0] is arrivals_iter
+        ):
+            overflow = [self._stream_overflow[1:]]
+            self._stream_overflow = None  # other iterators' holds stay put
+        else:
+            overflow = []
+
+        def arm_next() -> None:
+            item = overflow.pop() if overflow else next(arrivals_iter, None)
+            if item is None:
+                return
+            arrival_time, offer = item
+            if arrival_time >= end:
+                # Hold the lookahead for a follow-up run on this iterator.
+                self._stream_overflow = (arrivals_iter, arrival_time, offer)
+                return
+            self.driver.schedule_at(
+                arrival_time,
+                lambda offer=offer: (self.submit(offer), arm_next()),
+            )
+
+        arm_next()
+
+    def arm_sweep_ticks(self, end: float) -> None:
+        """Periodic expiry sweeps + trigger evaluation until ``end``."""
+
+        def sweep_tick() -> None:
+            self.sweep_expired()
+            self.maybe_schedule()
+            next_time = self.now + self.config.expiry_sweep_interval
+            if next_time < end:
+                self.driver.schedule_at(next_time, sweep_tick)
+
+        self.driver.schedule_at(
+            min(self.now + self.config.expiry_sweep_interval, end), sweep_tick
+        )
+
     def run_stream(
         self,
         arrivals: Iterable[tuple[float, FlexOffer]],
@@ -640,49 +774,8 @@ class BrpRuntimeService:
         start = self.now
         end = start + duration_slices
 
-        arrivals_iter = iter(arrivals)
-        # A previous run_stream on this same iterator may have pulled one
-        # arrival beyond its window to discover the window closed; replay it.
-        if (
-            self._stream_overflow is not None
-            and self._stream_overflow[0] is arrivals_iter
-        ):
-            overflow = [self._stream_overflow[1:]]
-            self._stream_overflow = None  # other iterators' holds stay put
-        else:
-            overflow = []
-
-        def next_arrival() -> tuple[float, FlexOffer] | None:
-            if overflow:
-                return overflow.pop()
-            return next(arrivals_iter, None)
-
-        def arm_next_arrival() -> None:
-            item = next_arrival()
-            if item is None:
-                return
-            arrival_time, offer = item
-            if arrival_time >= end:
-                # Hold the lookahead for a follow-up run on this iterator.
-                self._stream_overflow = (arrivals_iter, arrival_time, offer)
-                return
-            self.driver.schedule_at(
-                arrival_time,
-                lambda offer=offer: (self.submit(offer), arm_next_arrival()),
-            )
-
-        arm_next_arrival()
-
-        def sweep_tick() -> None:
-            self.sweep_expired()
-            self.maybe_schedule()
-            next_time = self.now + self.config.expiry_sweep_interval
-            if next_time < end:
-                self.driver.schedule_at(next_time, sweep_tick)
-
-        self.driver.schedule_at(
-            min(start + self.config.expiry_sweep_interval, end), sweep_tick
-        )
+        self.arm_arrivals(arrivals, end)
+        self.arm_sweep_ticks(end)
 
         if report_every is not None:
 

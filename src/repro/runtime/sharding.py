@@ -127,14 +127,46 @@ class ShardedFlexOfferIngest:
             self._shard_of_offer[accepted.offer_id] = index
         return accepted
 
+    def contains(self, offer_id: int) -> bool:
+        """Whether any shard currently holds the offer."""
+        if offer_id in self._shard_of_offer:
+            return True
+        return any(shard.contains(offer_id) for shard in self.shards)
+
+    def _home_shard(self, offer_id: int) -> int | None:
+        """Membership lookup for offers the routing table no longer covers.
+
+        Hashing the offer's cell again is *not* a valid fallback: submit
+        routed by the admission-clipped cell, and re-deriving that clip
+        needs the (unknown) submit-time clock — an unclipped re-hash can
+        land on a different shard, mis-routing the delete and leaving a
+        ghost member in the true home shard.  Asking each shard's pipeline
+        is exact regardless of what the admission clip did.
+        """
+        for index, shard in enumerate(self.shards):
+            if shard.contains(offer_id):
+                return index
+        return None
+
     def retire(self, offers: Iterable[FlexOffer], now: int, state: str) -> int:
-        """Route delete updates to each offer's home shard; returns count."""
+        """Route delete updates to each offer's home shard; returns count.
+
+        Offers no shard knows (never admitted, or already retired) are
+        skipped and counted under ``ingest.retire_unknown`` — a delete must
+        never be guessed onto a shard that does not hold the offer.
+        """
         per_shard: dict[int, list[FlexOffer]] = {}
+        unknown = 0
         for offer in offers:
             index = self._shard_of_offer.pop(offer.offer_id, None)
             if index is None:
-                index = self.shard_of(offer)
+                index = self._home_shard(offer.offer_id)
+            if index is None:
+                unknown += 1
+                continue
             per_shard.setdefault(index, []).append(offer)
+        if unknown:
+            self.metrics.counter("ingest.retire_unknown").inc(unknown)
         return sum(
             self.shards[index].retire(batch, now, state)
             for index, batch in per_shard.items()

@@ -341,6 +341,54 @@ class TestShardedIngest:
         assert _updates_summary(single.flush(0)) == _updates_summary(sharded.flush(0))
         assert single.input_count == sharded.input_count
 
+    def test_clipped_offer_retires_from_its_true_home_shard(self):
+        """Admission-clipped offers must retire where submit routed them.
+
+        Submit routes by the *clipped* cell; an offer whose window was
+        clipped on entry hashes to a different cell unclipped.  When the
+        routing table cannot answer (the regression: the fallback re-hashed
+        the unclipped offer), the delete must still land on the shard that
+        actually holds the offer — membership lookup, never a guessed hash.
+        """
+        parameters = AggregationParameters(4, 4, name="shard")
+        sharded = ShardedFlexOfferIngest(
+            parameters, shards=4, engine="packed", batch_size=4
+        )
+        now = 9
+        offer = next(
+            o
+            for tf in range(6, 40)
+            for o in [
+                flex_offer(
+                    [(1.0, 2.0)] * 2, earliest_start=0, latest_start=tf
+                )
+            ]
+            if sharded.shard_of(o) != sharded.shard_of(o, now)
+        )
+        accepted = sharded.submit(offer, now)
+        assert accepted.earliest_start == now  # clip applied at admission
+        sharded.flush(now)
+        assert sharded.contains(accepted.offer_id)
+
+        # Drop the routing entry, then retire via the *original* unclipped
+        # object — the path that used to re-hash onto the wrong shard and
+        # leave a ghost member behind.
+        del sharded._shard_of_offer[accepted.offer_id]
+        assert sharded.retire([offer], now, "expired") == 1
+        sharded.flush(now)
+        assert sharded.input_count == 0
+        assert not sharded.contains(accepted.offer_id)
+
+    def test_retire_unknown_offer_is_skipped_not_guessed(self):
+        parameters = AggregationParameters(4, 4, name="shard")
+        sharded = ShardedFlexOfferIngest(parameters, shards=4, batch_size=4)
+        stranger = flex_offer(
+            [(1.0, 2.0)] * 2, earliest_start=0, latest_start=8
+        )
+        assert sharded.retire([stranger], 0, "expired") == 0
+        assert sharded.metrics.counter("ingest.retire_unknown").value == 1
+        assert sharded.flush(0) == []
+
     def test_shard_group_spaces_are_disjoint(self):
         parameters = AggregationParameters(2, 2, name="disjoint")
         sharded = ShardedFlexOfferIngest(parameters, shards=4, batch_size=4)

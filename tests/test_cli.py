@@ -108,3 +108,48 @@ def test_serve_accepts_config_with_report_every(tmp_path, capsys):
 
 def test_unknown_experiment_still_exits_2(capsys):
     assert main(["no-such-experiment"]) == EXIT_UNKNOWN_EXPERIMENT
+
+
+def test_loadtest_cluster_mode_runs(capsys):
+    assert main(["loadtest", *TINY, "--brps", "2"]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "cluster of 2 BRPs + TSO" in out
+    assert "TSO runs" in out
+    assert "remote commits" in out
+
+
+def test_serve_cluster_file_runs(tmp_path, capsys):
+    cluster = tmp_path / "cluster.json"
+    cluster.write_text(json.dumps({
+        "brps": {"north": {}, "south": {}},
+        "tso": {"trigger_refreshes": 1, "scheduler_passes": 1},
+    }))
+    assert (
+        main(["serve", *TINY, "--cluster", str(cluster), "--report-every", "6"])
+        == EXIT_OK
+    )
+    out = capsys.readouterr().out
+    assert "north" in out and "south" in out
+    assert "[t=" in out  # progress lines appeared
+
+
+def test_cluster_and_brps_flags_are_mutually_exclusive(tmp_path, capsys):
+    cluster = tmp_path / "cluster.json"
+    cluster.write_text(json.dumps({"brps": 2}))
+    assert (
+        main(["loadtest", *TINY, "--cluster", str(cluster), "--brps", "3"])
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_cluster_file_validated_exits_2(tmp_path, capsys):
+    bad = tmp_path / "cluster.json"
+    bad.write_text(json.dumps({"brps": 2, "tso": {"scheduler": "bogus"}}))
+    assert main(["loadtest", *TINY, "--cluster", str(bad)]) == EXIT_UNKNOWN_EXPERIMENT
+    assert "invalid loadtest configuration" in capsys.readouterr().err
+
+
+def test_nonpositive_brps_exits_2(capsys):
+    assert main(["loadtest", *TINY, "--brps", "0"]) == EXIT_UNKNOWN_EXPERIMENT
+    assert "--brps must be positive" in capsys.readouterr().err

@@ -174,6 +174,51 @@ class TestProsumerNode:
         load = node.realized_load(0, 144)
         assert load.total() > 0
 
+    def test_rejected_offers_do_not_run_or_inflate_realized_load(self):
+        """A BRP-rejected offer has no contract: no fallback execution."""
+        node, _ = self._node()
+        node.plan_day(0, 144, np.random.default_rng(0))
+        offer = list(node.pending.values())[0]
+        with_fallback = node.realized_load(0, 144).total()
+        node.handle_message(
+            Message("brp", "p1", MessageType.FLEX_OFFER_REJECT, offer, 0)
+        )
+        assert offer.offer_id in node.rejected  # the set is consulted...
+        assert node.executions() == []  # ...and the fallback is skipped
+        rejected_load = node.realized_load(0, 144).total()
+        assert rejected_load < with_fallback
+        # Only the baseline remains.
+        assert rejected_load == pytest.approx(node._baseline.values.sum())
+
+    def test_rejected_offer_leaves_other_executions_intact(self):
+        node, _ = self._node(
+            [
+                EVCharger(AXIS, use_probability=1.0),
+                WashingMachine(AXIS, run_probability=1.0),
+            ]
+        )
+        node.plan_day(0, 144, np.random.default_rng(0))
+        assert len(node.pending) == 2
+        first, second = node.pending.values()
+        node.handle_message(
+            Message("brp", "p1", MessageType.FLEX_OFFER_REJECT, first, 0)
+        )
+        executions = node.executions()
+        assert len(executions) == 1
+        assert executions[0].offer.offer_id == second.offer_id
+
+    def test_plan_day_with_horizon_shorter_than_a_day(self):
+        """A horizon below slices_per_day keeps the overlapping baseline."""
+        node, bus = self._node()
+        horizon = PER_DAY // 2
+        node.plan_day(0, horizon, np.random.default_rng(0))  # must not raise
+        assert len(node._baseline) == horizon
+        full_node, _ = self._node()
+        full_node.plan_day(0, PER_DAY, np.random.default_rng(0))
+        np.testing.assert_allclose(
+            node._baseline.values, full_node._baseline.values[:horizon]
+        )
+
 
 class TestHierarchySimulation:
     def test_balancing_improves(self):

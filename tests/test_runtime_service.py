@@ -318,13 +318,15 @@ class TestConfigValidation:
 class TestNetForecastWindow:
     def test_provided_forecast_is_windowed(self):
         from repro.core.timeseries import TimeSeries
+        from repro.runtime.service import net_forecast_window
 
         series = TimeSeries(0, np.arange(200, dtype=float))
-        service = BrpRuntimeService(TINY, net_forecast=series)
-        window = service._net_forecast_window(10, 106)
+        window = net_forecast_window(series, 10, 106)
         assert window.start == 10
         assert window.values[0] == 10.0
         # Beyond the provided series the forecast falls back to zero.
-        window = service._net_forecast_window(150, 246)
+        window = net_forecast_window(series, 150, 246)
         assert window.values[49] == 199.0
         assert window.values[50] == 0.0
+        # No forecast at all: all-zero window.
+        assert net_forecast_window(None, 0, 8).values.sum() == 0.0
