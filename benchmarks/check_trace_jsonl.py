@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Validate a structured event log written by ``--trace FILE.jsonl``.
+
+Checks (exit 1 with a message on the first family that fails):
+
+* every line is a JSON object with a known ``event`` kind and a ``seq``;
+* every record carries the fields :data:`repro.obs.EVENT_SCHEMA` requires
+  for its kind;
+* ``seq`` is strictly increasing (the ring is ordered and nothing was
+  interleaved from a foreign run);
+* lifecycle completeness — every offer that logged a ``submitted`` event
+  reaches a terminal state (:data:`repro.obs.TERMINAL_OFFER_STATES`;
+  ``live_at_shutdown`` counts: it marks offers still open at the end of
+  the run, which is expected, not lost);
+* every ``bus`` record's action is ``publish``/``deliver``/``drop``, and
+  each delivered message id was published first.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_trace_jsonl.py TRACE.jsonl
+
+The CI bench-smoke job runs this against a tiny cluster loadtest, so a
+schema drift or a lifecycle leak fails the build with a named check.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs import EVENT_SCHEMA, TERMINAL_OFFER_STATES
+
+BUS_ACTIONS = ("publish", "deliver", "drop")
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check(path: str) -> int:
+    counts: dict[str, int] = {}
+    last_seq = -1
+    submitted: set[int] = set()
+    terminal: set[int] = set()
+    published: set[int] = set()
+    delivered: set[int] = set()
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                return fail(f"line {lineno}: not valid JSON ({exc})")
+            if not isinstance(record, dict):
+                return fail(f"line {lineno}: record is not a JSON object")
+            kind = record.get("event")
+            if kind not in EVENT_SCHEMA:
+                return fail(
+                    f"line {lineno}: unknown event kind {kind!r} "
+                    f"(known: {', '.join(EVENT_SCHEMA)})"
+                )
+            missing = sorted(set(EVENT_SCHEMA[kind]) - set(record))
+            if missing:
+                return fail(
+                    f"line {lineno}: {kind} record is missing required "
+                    f"fields {', '.join(missing)}"
+                )
+            seq = record.get("seq")
+            if not isinstance(seq, int):
+                return fail(f"line {lineno}: seq missing or not an integer")
+            if seq <= last_seq:
+                return fail(
+                    f"line {lineno}: seq {seq} not increasing "
+                    f"(previous {last_seq})"
+                )
+            last_seq = seq
+            counts[kind] = counts.get(kind, 0) + 1
+
+            if kind == "offer":
+                offer_id = record["offer_id"]
+                state = record["state"]
+                if state == "submitted":
+                    submitted.add(offer_id)
+                if state in TERMINAL_OFFER_STATES:
+                    terminal.add(offer_id)
+            elif kind == "bus":
+                action = record["action"]
+                if action not in BUS_ACTIONS:
+                    return fail(
+                        f"line {lineno}: unknown bus action {action!r}"
+                    )
+                message_id = record["message_id"]
+                if action == "publish":
+                    published.add(message_id)
+                elif action == "deliver":
+                    delivered.add(message_id)
+
+    if last_seq < 0:
+        return fail(f"{path}: no events found")
+
+    # Eviction can age the earliest submissions out of the ring; the JSONL
+    # sink sees every event, so for a --trace file this must hold exactly.
+    dangling = submitted - terminal
+    if dangling:
+        sample = ", ".join(str(oid) for oid in sorted(dangling)[:10])
+        return fail(
+            f"{len(dangling)} submitted offer(s) never reached a terminal "
+            f"state ({', '.join(TERMINAL_OFFER_STATES)}); e.g. {sample}"
+        )
+
+    ghost = delivered - published
+    if ghost:
+        sample = ", ".join(str(mid) for mid in sorted(ghost)[:10])
+        return fail(
+            f"{len(ghost)} bus message(s) delivered without a matching "
+            f"publish event; e.g. {sample}"
+        )
+
+    summary = ", ".join(f"{kind}={counts.get(kind, 0)}" for kind in EVENT_SCHEMA)
+    print(
+        f"OK: {path}: {last_seq + 1} events ({summary}); "
+        f"{len(submitted)} offers submitted, all terminal"
+    )
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print(
+            "usage: python benchmarks/check_trace_jsonl.py TRACE.jsonl",
+            file=sys.stderr,
+        )
+        return 2
+    return check(argv[0])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

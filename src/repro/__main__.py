@@ -15,6 +15,12 @@ Usage::
     python -m repro loadtest --brps 4 --rate 50 --duration 192   # cluster + TSO
     python -m repro serve --cluster cluster.json --report-every 96
 
+    python -m repro loadtest --brps 4 --trace run.jsonl   # structured event log
+    python -m repro inspect run.jsonl                     # per-stage breakdown
+    python -m repro inspect run.jsonl --offer 42          # one offer's chain
+    python -m repro loadtest --metrics --metrics-format prometheus
+    python -m repro loadtest --metrics-json metrics.json
+
 Engine/scheduler/driver names are resolved through the
 :mod:`repro.api.registry`; unknown names exit ``2`` with the known set.
 
@@ -87,6 +93,7 @@ EXPERIMENTS: dict[str, tuple[Callable[[], object], str]] = {
 RUNTIME_COMMANDS: dict[str, str] = {
     "serve": "run the streaming BRP service loop",
     "loadtest": "replay a Poisson offer stream and report",
+    "inspect": "per-stage/per-BRP breakdown (or one offer's chain) of a trace",
 }
 
 
@@ -196,6 +203,31 @@ def _runtime_parser(command: str) -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="also dump the full metrics registry",
     )
+    parser.add_argument(
+        "--metrics-format", default="text",
+        help="exposition format for --metrics, by registry name: "
+        "'text', 'json' or 'prometheus'",
+    )
+    parser.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="write a JSON metrics snapshot (as_dict) to PATH after the run",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="record the structured event log (spans, offer lifecycle, bus, "
+        "triggers) to FILE.jsonl; see repro.obs.EVENT_SCHEMA",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="stream the structured event log to stdout as JSON lines "
+        "(the report moves to stderr)",
+    )
+    parser.add_argument(
+        "--trace-sample", type=int, default=1, metavar="N",
+        help="offer-lifecycle sampling stride: trace offers whose id is "
+        "divisible by N (default 1 = every offer; macro events are always "
+        "traced)",
+    )
     if command == "serve":
         parser.add_argument(
             "--report-every", type=float, default=96.0,
@@ -250,6 +282,7 @@ def _run_runtime(command: str, argv: list[str]) -> int:
     from .api import (
         KIND_AGGREGATION,
         KIND_DRIVER,
+        KIND_EXPORTER,
         KIND_SCHEDULER,
         LedmsClient,
         default_registry,
@@ -278,6 +311,7 @@ def _run_runtime(command: str, argv: list[str]) -> int:
         (KIND_AGGREGATION, args.engine),
         (KIND_SCHEDULER, args.scheduler),
         (KIND_DRIVER, args.driver),
+        (KIND_EXPORTER, args.metrics_format),
     ):
         if not registry.has(kind, name):
             known = ", ".join(registry.names(kind)) or "<none>"
@@ -327,34 +361,83 @@ def _run_runtime(command: str, argv: list[str]) -> int:
             else {}
         )
         driver = registry.create(KIND_DRIVER, args.driver, **driver_kwargs)
+        tracer, writers = _build_tracer(args)
         if args.cluster is not None or args.brps > 1:
-            return _run_cluster(command, args, config, driver)
-        client = LedmsClient(config, driver=driver)
+            return _run_cluster(command, args, config, driver, tracer, writers)
+        client = LedmsClient(config, driver=driver, tracer=tracer)
         generator = LoadGenerator(rate_per_hour=args.rate, seed=args.seed)
     except ServiceError as exc:
         print(f"error: invalid {command} configuration: {exc}", file=sys.stderr)
         return EXIT_UNKNOWN_EXPERIMENT
+    # With --log-json the event stream owns stdout; everything human-facing
+    # moves to stderr.
+    out = sys.stderr if args.log_json else sys.stdout
     print(
         f"### {command}: rate={args.rate}/h duration={args.duration} slices "
-        f"seed={args.seed} driver={args.driver}"
+        f"seed={args.seed} driver={args.driver}",
+        file=out,
     )
     try:
         report = client.run_stream(
             generator.stream(0.0, args.duration),
             args.duration,
             report_every=getattr(args, "report_every", None),
+            report_sink=lambda line: print(line, file=out),
         )
     except ServiceError as exc:
         print(f"error: invalid {command} configuration: {exc}", file=sys.stderr)
         return EXIT_UNKNOWN_EXPERIMENT
-    print(report.as_text())
-    if args.metrics:
-        print()
-        print(client.service.metrics.render())
+    if tracer is not None:
+        client.service.trace_shutdown()
+    for writer in writers:
+        writer.close()
+    print(report.as_text(), file=out)
+    _emit_metrics(args, registry, client.service.metrics, out)
     return EXIT_OK
 
 
-def _run_cluster(command: str, args, config, driver) -> int:
+def _build_tracer(args):
+    """The shared tracer (and its JSONL writers) from the trace flags.
+
+    Returns ``(None, [])`` when tracing is off, so services fall back to
+    their :class:`~repro.obs.tracing.NullTracer` default.
+    """
+    if args.trace is None and not args.log_json:
+        return None, []
+    from .obs import JsonlWriter, Tracer
+
+    writers = []
+    if args.trace is not None:
+        writers.append(JsonlWriter(args.trace))
+    if args.log_json:
+        writers.append(JsonlWriter(stream=sys.stdout))
+    if len(writers) == 1:
+        sink = writers[0]
+    else:
+        def sink(record, _writers=tuple(writers)):
+            for writer in _writers:
+                writer(record)
+
+    tracer = Tracer(sample_every=args.trace_sample, sink=sink)
+    return tracer, writers
+
+
+def _emit_metrics(args, registry, metrics, out) -> None:
+    """Apply the --metrics / --metrics-json flags to one registry."""
+    from .api import KIND_EXPORTER
+    from .obs import render_metrics_json
+
+    if args.metrics:
+        render = registry.create(KIND_EXPORTER, args.metrics_format)
+        print(file=out)
+        print(render(metrics), file=out, end="")
+    if args.metrics_json is not None:
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            handle.write(render_metrics_json(metrics))
+            handle.write("\n")
+
+
+def _run_cluster(command: str, args, config, driver, tracer, writers) -> int:
     """Multi-node mode of serve/loadtest: K BRPs + TSO over the bus.
 
     ``--cluster FILE.json`` supplies per-BRP service sections and the TSO
@@ -392,34 +475,81 @@ def _run_cluster(command: str, args, config, driver) -> int:
         cluster_config = ClusterConfig.from_dict(spec, base=config)
     else:
         cluster_config = ClusterConfig.uniform(args.brps, config)
-    cluster = ClusterRuntime(cluster_config, driver=driver)
+    cluster = ClusterRuntime(cluster_config, driver=driver, tracer=tracer)
     streams = {
         name: LoadGenerator(
             rate_per_hour=args.rate, seed=args.seed + index
         ).stream(0.0, args.duration)
         for index, name in enumerate(cluster.clients)
     }
+    out = sys.stderr if args.log_json else sys.stdout
     print(
         f"### {command}: cluster of {len(cluster.clients)} BRPs + TSO, "
         f"rate={args.rate}/h per BRP, duration={args.duration} slices "
-        f"seed={args.seed} driver={args.driver}"
+        f"seed={args.seed} driver={args.driver}",
+        file=out,
     )
     report = cluster.run(
         streams,
         args.duration,
         report_every=getattr(args, "report_every", None),
+        report_sink=lambda line: print(line, file=out),
     )
-    print(report.as_text())
-    if args.metrics:
-        print()
-        print(cluster.metrics().render())
+    if tracer is not None:
+        cluster.trace_shutdown()
+    for writer in writers:
+        writer.close()
+    print(report.as_text(), file=out)
+    from .api import default_registry
+
+    _emit_metrics(args, default_registry(), cluster.metrics(), out)
     return EXIT_OK
 
 
 # ----------------------------------------------------------------------
+def _run_inspect(argv: list[str]) -> int:
+    """``inspect TRACE.jsonl [--offer ID]``: summarize a recorded trace."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro inspect",
+        description=(
+            "Summarize a structured event log recorded with --trace: by "
+            "default a per-stage/per-node breakdown (span timings, bus "
+            "traffic); with --offer, the causal chain of one offer id "
+            "across BRP and TSO nodes."
+        ),
+    )
+    parser.add_argument(
+        "trace", metavar="TRACE.jsonl",
+        help="event log written by 'serve'/'loadtest' --trace",
+    )
+    parser.add_argument(
+        "--offer", type=int, default=None, metavar="ID",
+        help="render the end-to-end causal chain of this offer id",
+    )
+    args = parser.parse_args(argv)
+
+    from .obs import load_trace, render_breakdown, render_offer_tree
+
+    try:
+        events = load_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+        return EXIT_UNKNOWN_EXPERIMENT
+    except ValueError as exc:
+        print(f"error: malformed trace file: {exc}", file=sys.stderr)
+        return EXIT_UNKNOWN_EXPERIMENT
+    if args.offer is not None:
+        print(render_offer_tree(events, args.offer))
+    else:
+        print(render_breakdown(events))
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the selected experiment(s) or runtime subcommand; returns exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "inspect":
+        return _run_inspect(argv[1:])
     if argv and argv[0] in RUNTIME_COMMANDS:
         return _run_runtime(argv[0], argv[1:])
 

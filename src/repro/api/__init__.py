@@ -19,7 +19,11 @@ Everything a caller needs to run a node lives here, typed and composable:
 * :class:`ClusterRuntime` / :class:`ClusterConfig` — the multi-node
   runtime: one client per BRP over a ``node.bus``-backed adapter on a
   shared time driver, with a :class:`TsoRuntimeService` scheduling tier
-  consuming each BRP's committed macro flex-offers.
+  consuming each BRP's committed macro flex-offers;
+* :class:`Tracer` / :class:`ObsConfig` / :class:`JsonlWriter` — the
+  observability subsystem (:mod:`repro.obs`): end-to-end offer tracing
+  over the cluster, a structured JSONL event log, and metrics exporters
+  registered under the ``exporter`` registry kind.
 
 Only the registry is imported eagerly; the facade classes resolve lazily
 (PEP 562) so lower layers can consult the registry without import cycles.
@@ -28,6 +32,7 @@ Only the registry is imported eagerly; the facade classes resolve lazily
 from .registry import (
     KIND_AGGREGATION,
     KIND_DRIVER,
+    KIND_EXPORTER,
     KIND_SCHEDULER,
     KIND_TRIGGER,
     Registration,
@@ -43,13 +48,17 @@ __all__ = [
     "ClusterReport",
     "ClusterRuntime",
     "IngestConfig",
+    "JsonlWriter",
     "KIND_AGGREGATION",
     "KIND_DRIVER",
+    "KIND_EXPORTER",
     "KIND_SCHEDULER",
     "KIND_TRIGGER",
     "LedmsClient",
     "LedmsSession",
     "MarketConfig",
+    "NullTracer",
+    "ObsConfig",
     "OfferView",
     "PlanAssignment",
     "PlanView",
@@ -61,6 +70,8 @@ __all__ = [
     "SimulatedDriver",
     "SubmitResult",
     "TimeDriver",
+    "TraceContext",
+    "Tracer",
     "TsoConfig",
     "TsoRuntimeService",
     "WallClockDriver",
@@ -81,9 +92,14 @@ _LAZY_EXPORTS = {
     "AggregationConfig": "config",
     "IngestConfig": "config",
     "MarketConfig": "config",
+    "ObsConfig": "config",
     "SchedulingConfig": "config",
     "ServiceConfig": "config",
     "build_trigger": "config",
+    "JsonlWriter": "obs",
+    "NullTracer": "obs",
+    "TraceContext": "obs",
+    "Tracer": "obs",
     "SimulatedDriver": "drivers",
     "TimeDriver": "drivers",
     "WallClockDriver": "drivers",

@@ -134,6 +134,8 @@ class LedmsClient:
         store: LedmsStore | None = None,
         metrics: MetricsRegistry | None = None,
         net_forecast: TimeSeries | None = None,
+        name: str = "brp",
+        tracer=None,
     ):
         self.service = BrpRuntimeService(
             config,
@@ -141,6 +143,8 @@ class LedmsClient:
             metrics=metrics,
             net_forecast=net_forecast,
             driver=driver,
+            name=name,
+            tracer=tracer,
         )
         self._last_plan: PlanView | None = None
         self._plan_hooks: list[Callable[[PlanView], None]] = []
@@ -341,6 +345,8 @@ class LedmsClient:
         driver: TimeDriver | None = None,
         metrics: MetricsRegistry | None = None,
         net_forecast: TimeSeries | None = None,
+        name: str = "brp",
+        tracer=None,
     ) -> "LedmsClient":
         """Rebuild a node from a store's lifecycle facts (restart mid-stream).
 
@@ -373,6 +379,8 @@ class LedmsClient:
             store=store,
             metrics=metrics,
             net_forecast=net_forecast,
+            name=name,
+            tracer=tracer,
         )
         for offer in store.live_offers():
             client.service.submit(offer)

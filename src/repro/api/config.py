@@ -11,6 +11,7 @@ from ..runtime.config import (
     AggregationConfig,
     IngestConfig,
     MarketConfig,
+    ObsConfig,
     RuntimeConfig,
     SchedulingConfig,
     ServiceConfig,
@@ -22,6 +23,7 @@ __all__ = [
     "AggregationConfig",
     "IngestConfig",
     "MarketConfig",
+    "ObsConfig",
     "RuntimeConfig",
     "SchedulingConfig",
     "ServiceConfig",

@@ -1,0 +1,42 @@
+"""Observability, re-exported at the api layer.
+
+The implementations live in :mod:`repro.obs` (below the runtime, so every
+runtime module can instrument itself without cycles); this module is their
+canonical public import path::
+
+    from repro.api.obs import Tracer, JsonlWriter, render_prometheus
+"""
+
+from ..obs import (
+    EVENT_SCHEMA,
+    TERMINAL_OFFER_STATES,
+    JsonlWriter,
+    NullTracer,
+    TraceContext,
+    Tracer,
+    iter_events,
+    load_trace,
+    offer_chain,
+    render_breakdown,
+    render_metrics_json,
+    render_metrics_text,
+    render_offer_tree,
+    render_prometheus,
+)
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "TERMINAL_OFFER_STATES",
+    "JsonlWriter",
+    "NullTracer",
+    "TraceContext",
+    "Tracer",
+    "iter_events",
+    "load_trace",
+    "offer_chain",
+    "render_breakdown",
+    "render_metrics_json",
+    "render_metrics_text",
+    "render_offer_tree",
+    "render_prometheus",
+]

@@ -31,6 +31,7 @@ from ..core.errors import ServiceError
 __all__ = [
     "KIND_AGGREGATION",
     "KIND_DRIVER",
+    "KIND_EXPORTER",
     "KIND_SCHEDULER",
     "KIND_TRIGGER",
     "Registration",
@@ -44,6 +45,7 @@ KIND_AGGREGATION = "aggregation"
 KIND_SCHEDULER = "scheduler"
 KIND_TRIGGER = "trigger"
 KIND_DRIVER = "driver"
+KIND_EXPORTER = "exporter"
 
 
 class RegistryError(ServiceError):
@@ -258,6 +260,24 @@ def _wallclock_driver(**kwargs):
     return WallClockDriver(**kwargs)
 
 
+def _text_exporter():
+    from ..obs.export import render_metrics_text
+
+    return render_metrics_text
+
+
+def _json_exporter():
+    from ..obs.export import render_metrics_json
+
+    return render_metrics_json
+
+
+def _prometheus_exporter():
+    from ..obs.export import render_prometheus
+
+    return render_prometheus
+
+
 def _register_builtins(registry: Registry) -> Registry:
     registry.register(
         KIND_AGGREGATION, "packed", _packed_pipeline,
@@ -315,6 +335,20 @@ def _register_builtins(registry: Registry) -> Registry:
         KIND_DRIVER, "wallclock", _wallclock_driver,
         description="real-time slices with a thread-safe arrival inbox",
         capabilities=("realtime", "threadsafe-inbox"),
+    )
+    # Exporter factories return a render callable (registry -> str), so an
+    # exporter is resolved once and applied to any number of registries.
+    registry.register(
+        KIND_EXPORTER, "text", _text_exporter,
+        description="plain key = value metrics dump (the CLI default)",
+    )
+    registry.register(
+        KIND_EXPORTER, "json", _json_exporter,
+        description="pretty-printed JSON metrics snapshot (as_dict)",
+    )
+    registry.register(
+        KIND_EXPORTER, "prometheus", _prometheus_exporter,
+        description="Prometheus text exposition (histograms as summaries)",
     )
     return registry
 

@@ -36,7 +36,10 @@ class Message:
 
     ``payload`` carries the domain object (a flex-offer, a scheduled
     flex-offer, a time series, …); ``issued_at`` is the slice at which the
-    sender produced it.
+    sender produced it.  ``trace`` optionally carries the sender's
+    :class:`~repro.obs.tracing.TraceContext`, so the receiver can link its
+    own spans back to the work that produced the message; it is ``None``
+    on untraced runs and ignored by domain logic.
     """
 
     sender: str
@@ -45,3 +48,4 @@ class Message:
     payload: Any
     issued_at: int
     message_id: int = field(default_factory=lambda: next(_sequence))
+    trace: Any = None

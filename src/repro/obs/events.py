@@ -1,0 +1,134 @@
+"""Structured event log: JSON-lines emission and the stable record schema.
+
+Every tracer event is a flat JSON object with an ``event`` kind and a
+monotonically increasing ``seq``.  The schema below is the contract the
+CLI (``--trace FILE.jsonl`` / ``--log-json``), the ``inspect`` subcommand,
+and CI's ``check_trace_jsonl.py`` validator all share; extend it by adding
+fields, never by renaming or repurposing existing ones.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, Iterator
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_SCHEMA",
+    "TERMINAL_OFFER_STATES",
+    "JsonlWriter",
+    "iter_events",
+]
+
+#: The event vocabulary.
+EVENT_KINDS = ("span", "offer", "bus", "trigger")
+
+#: Offer-lifecycle states that end a trace (``live_at_shutdown`` marks
+#: offers still live when the run finished — expected, not an error).
+TERMINAL_OFFER_STATES = (
+    "rejected",
+    "executed",
+    "expired",
+    "withdrawn",
+    "live_at_shutdown",
+)
+
+#: Required fields per event kind (field -> short description).  ``seq``
+#: is present on every record.
+EVENT_SCHEMA: dict[str, dict[str, str]] = {
+    "span": {
+        "node": "emitting node (brp name or tso)",
+        "name": "span name (stage or operation)",
+        "span": "span id, unique per run",
+        "parent": "enclosing span id, or null at the root",
+        "links": "cross-node causal edges [{node, span}]",
+        "labels": "free-form string labels",
+        "offer_ids": "offer/macro ids associated with the span",
+        "sim_start": "sim time (slices) at open",
+        "sim_end": "sim time (slices) at close",
+        "wall_seconds": "wall-clock duration of the span",
+    },
+    "offer": {
+        "node": "emitting node",
+        "offer_id": "the flex-offer (or macro offer) id",
+        "state": "lifecycle state or trace annotation",
+        "span": "enclosing span id, or null",
+        "sim": "sim time (slices)",
+        "wall": "wall time (perf_counter seconds)",
+        "detail": "state-specific payload (aggregate id, macro ids, ...)",
+    },
+    "bus": {
+        "node": "observing node",
+        "action": "publish | deliver | drop",
+        "type": "message type value",
+        "sender": "sending node",
+        "recipient": "receiving node",
+        "message_id": "bus message id",
+        "span": "enclosing span id, or null",
+        "ctx": "sender's trace context {node, span}, or null",
+        "sim": "sim time (slices)",
+        "wall": "wall time (perf_counter seconds)",
+        "detail": "message-specific payload (macro ids, drop reason, ...)",
+    },
+    "trigger": {
+        "node": "emitting node",
+        "fired": "names of trigger conditions that fired",
+        "decision": "whether a scheduling run was started",
+        "sim": "sim time (slices)",
+        "wall": "wall time (perf_counter seconds)",
+        "detail": "trigger-specific payload",
+    },
+}
+
+
+class JsonlWriter:
+    """Append tracer events to a JSON-lines file (or stream).
+
+    Usable directly as a tracer ``sink``::
+
+        writer = JsonlWriter("run.jsonl")
+        tracer = Tracer(sink=writer)
+        ...
+        writer.close()
+    """
+
+    def __init__(self, path: str | None = None, *, stream: IO[str] | None = None):
+        if stream is not None:
+            self._fh = stream
+            self._owns = False
+        elif path is not None:
+            self._fh = open(path, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = sys.stdout
+            self._owns = False
+
+    def __call__(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":"), default=str))
+        self._fh.write("\n")
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def iter_events(path: str) -> Iterator[dict]:
+    """Yield event records from a JSON-lines trace file, in file order."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

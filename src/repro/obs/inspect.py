@@ -1,0 +1,159 @@
+"""Trace inspection: per-stage breakdowns and per-offer causal chains.
+
+Consumes the JSON-lines event log written by ``--trace FILE.jsonl`` (see
+:mod:`repro.obs.events` for the schema) and renders the two views the CLI
+``inspect`` subcommand exposes:
+
+* :func:`render_breakdown` — where wall/sim time went, per node and stage,
+  plus bus traffic, from ``span`` and ``bus`` events;
+* :func:`render_offer_tree` — one offer's full causal chain (BRP submit →
+  aggregate → macro publish over the bus → TSO schedule → returned macro →
+  micro commit), reconstructed by following the macro ids recorded in
+  event ``detail`` payloads.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from .events import iter_events
+
+__all__ = [
+    "load_trace",
+    "offer_chain",
+    "render_breakdown",
+    "render_offer_tree",
+]
+
+
+def load_trace(path: str) -> list[dict]:
+    """Read a JSONL trace into memory, in file order."""
+    return list(iter_events(path))
+
+
+def _macros_of(events: Iterable[dict], offer_id: int) -> set:
+    """Macro (aggregate) ids the offer was folded into, per the trace."""
+    macros = set()
+    for event in events:
+        if (
+            event.get("event") == "offer"
+            and event.get("offer_id") == offer_id
+            and event.get("state") in ("aggregated_into", "remote_commit")
+        ):
+            macro = (event.get("detail") or {}).get("macro")
+            if macro is not None:
+                macros.add(macro)
+    return macros
+
+
+def offer_chain(events: Iterable[dict], offer_id: int) -> list[dict]:
+    """Every event on the offer's causal chain, ordered by ``seq``.
+
+    The chain covers the offer's own lifecycle events, the lifecycle of
+    every macro it was aggregated into (TSO receipt, system-wide schedule,
+    commit), and the bus messages that carried those macros between tiers.
+    """
+    events = list(events)
+    macros = _macros_of(events, offer_id)
+    chain = []
+    for event in events:
+        kind = event.get("event")
+        if kind == "offer":
+            if event.get("offer_id") == offer_id or event.get("offer_id") in macros:
+                chain.append(event)
+        elif kind == "bus":
+            detail = event.get("detail") or {}
+            carried = set(detail.get("macro_ids") or ())
+            if detail.get("macro") is not None:
+                carried.add(detail["macro"])
+            if carried & macros:
+                chain.append(event)
+    return sorted(chain, key=lambda e: e.get("seq", 0))
+
+
+def _describe(event: dict, offer_id: int) -> str:
+    if event["event"] == "offer":
+        oid = event["offer_id"]
+        subject = f"offer {oid}" if oid == offer_id else f"macro {oid}"
+        detail = event.get("detail") or {}
+        extra = ""
+        if detail:
+            extra = " (" + ", ".join(
+                f"{k}={v}" for k, v in sorted(detail.items())
+            ) + ")"
+        span = event.get("span")
+        if span is not None:
+            extra += f" [span {span}]"
+        return f"{subject} {event['state']}{extra}"
+    # bus event
+    detail = event.get("detail") or {}
+    carried = detail.get("macro_ids") or (
+        [detail["macro"]] if detail.get("macro") is not None else []
+    )
+    carried_text = ",".join(str(m) for m in carried)
+    ctx = event.get("ctx")
+    link = f" ctx={ctx['node']}/{ctx['span']}" if ctx else ""
+    return (
+        f"bus {event['action']} {event['type']} "
+        f"{event['sender']}->{event['recipient']} "
+        f"#{event['message_id']} macros[{carried_text}]{link}"
+    )
+
+
+def render_offer_tree(events: Iterable[dict], offer_id: int) -> str:
+    """The offer's causal chain as an indented, time-ordered text tree."""
+    chain = offer_chain(events, offer_id)
+    if not chain:
+        return f"offer {offer_id}: no events in trace (unsampled id, or never submitted)"
+    lines = [f"offer {offer_id} causal chain ({len(chain)} events):"]
+    for event in chain:
+        sim = event.get("sim")
+        if sim is None:
+            sim = event.get("sim_start", 0.0)
+        node = event.get("node", "")
+        indent = "    " if event["event"] == "bus" else "  "
+        lines.append(f"{indent}[sim {sim:9.2f}] {node:<8} {_describe(event, offer_id)}")
+    return "\n".join(lines)
+
+
+def render_breakdown(events: Iterable[dict]) -> str:
+    """Per-node/per-stage wall and sim time, plus bus traffic totals."""
+    events = list(events)
+    stages: dict[tuple[str, str], list[float]] = defaultdict(
+        lambda: [0, 0.0, 0.0]  # runs, wall seconds, sim slices
+    )
+    bus: dict[tuple[str, str], int] = defaultdict(int)
+    offers = 0
+    for event in events:
+        kind = event.get("event")
+        if kind == "span":
+            entry = stages[(event.get("node", ""), event.get("name", ""))]
+            entry[0] += 1
+            entry[1] += float(event.get("wall_seconds", 0.0))
+            entry[2] += float(event.get("sim_end", 0.0)) - float(
+                event.get("sim_start", 0.0)
+            )
+        elif kind == "bus":
+            bus[(event.get("action", ""), event.get("type", ""))] += 1
+        elif kind == "offer":
+            offers += 1
+    lines = [f"trace: {len(events)} events ({offers} offer events)"]
+    if stages:
+        lines.append("")
+        lines.append(
+            f"  {'node':<10} {'stage':<14} {'runs':>6} "
+            f"{'wall total':>12} {'wall mean':>12} {'sim total':>10}"
+        )
+        for (node, name), (runs, wall, sim) in sorted(stages.items()):
+            mean = wall / runs if runs else 0.0
+            lines.append(
+                f"  {node:<10} {name:<14} {runs:>6d} "
+                f"{wall:>11.4f}s {mean * 1e3:>10.3f}ms {sim:>10.1f}"
+            )
+    if bus:
+        lines.append("")
+        lines.append(f"  {'bus action':<12} {'message type':<28} {'count':>6}")
+        for (action, type_), count in sorted(bus.items()):
+            lines.append(f"  {action:<12} {type_:<28} {count:>6d}")
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ from .config import (
     AggregationConfig,
     IngestConfig,
     MarketConfig,
+    ObsConfig,
     RuntimeConfig,
     SchedulingConfig,
     ServiceConfig,
@@ -82,6 +83,7 @@ __all__ = [
     "LoadGenerator",
     "MarketConfig",
     "MetricsRegistry",
+    "ObsConfig",
     "RuntimeConfig",
     "RuntimeReport",
     "SchedulingConfig",

@@ -55,9 +55,10 @@ from ..core.schedule import ScheduledFlexOffer
 from ..core.timeseries import TimeSeries
 from ..node.bus import MessageBus
 from ..node.messages import Message, MessageType
+from ..obs.tracing import NullTracer, Tracer
 from ..scheduling import SchedulingProblem, SchedulingResult
 from .config import MarketConfig, ServiceConfig, _runtime_parameters
-from .drivers import SimulatedDriver, TimeDriver
+from .drivers import SimulatedDriver, TimeDriver, sim_clock
 from .metrics import MetricsRegistry, aggregate_registries
 from .service import (
     RuntimeReport,
@@ -93,14 +94,57 @@ class BusAdapter:
     loop — the adapter *is* the real wall-clock feed.
     """
 
-    def __init__(self, bus: MessageBus, driver: TimeDriver):
+    def __init__(
+        self,
+        bus: MessageBus,
+        driver: TimeDriver,
+        *,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ):
         self.bus = bus
         self.driver = driver
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NullTracer()
         self._pump_armed = False
+        # message_id -> (wall send time, message-type label) for everything
+        # queued but not yet delivered; resolved to a delivery-latency
+        # observation on delivery or a drop count at dispatch.
+        self._sent_at: dict[int, tuple[float, str]] = {}
 
     def register(self, name: str, handler: Callable[[Message], None]) -> None:
-        """Attach a node's handler under its unique bus name."""
-        self.bus.register(name, handler)
+        """Attach a node's handler under its unique bus name.
+
+        The handler is wrapped so every delivery is accounted: queue→handler
+        latency lands in the ``bus.delivery_seconds`` histogram, the
+        per-type ``bus.delivered`` counter increments, and (when tracing)
+        a ``deliver`` bus event records the message's carried
+        :class:`~repro.obs.tracing.TraceContext` — the receive side of the
+        cross-node causal edge.
+        """
+
+        def deliver(message: Message) -> None:
+            info = self._sent_at.pop(message.message_id, None)
+            if info is not None:
+                self.metrics.histogram("bus.delivery_seconds").observe(
+                    time.perf_counter() - info[0]
+                )
+                self.metrics.counter(
+                    "bus.delivered", labels={"type": info[1]}
+                ).inc()
+            if self.tracer.enabled:
+                self.tracer.bus_event(
+                    "deliver",
+                    node=name,
+                    type=message.type.value,
+                    sender=message.sender,
+                    recipient=message.recipient,
+                    message_id=message.message_id,
+                    ctx=message.trace,
+                )
+            handler(message)
+
+        self.bus.register(name, deliver)
 
     def set_unreachable(self, name: str, unreachable: bool = True) -> None:
         """Simulate a node outage (messages to it count as dropped)."""
@@ -113,19 +157,80 @@ class BusAdapter:
         type_: MessageType,
         payload: Any,
         now: float,
+        *,
+        detail: Mapping[str, Any] | None = None,
     ) -> bool:
-        """Queue one message and arm delivery; False when undeliverable."""
-        sent = self.bus.try_send(
-            Message(sender, recipient, type_, payload, int(now))
+        """Queue one message and arm delivery; False when undeliverable.
+
+        The sender's innermost open span (if any) rides along as the
+        message's :class:`~repro.obs.tracing.TraceContext`, so the
+        receiver's spans can link back across the bus.
+        """
+        tracer = self.tracer
+        context = tracer.current_context(sender) if tracer.enabled else None
+        message = Message(
+            sender, recipient, type_, payload, int(now), trace=context
         )
-        if sent and not self._pump_armed:
-            self._pump_armed = True
-            self.driver.post(self._pump)
+        sent = self.bus.try_send(message)
+        type_name = type_.value
+        if sent:
+            self.metrics.counter("bus.sent", labels={"type": type_name}).inc()
+            self._sent_at[message.message_id] = (time.perf_counter(), type_name)
+            if tracer.enabled:
+                tracer.bus_event(
+                    "publish",
+                    node=sender,
+                    type=type_name,
+                    sender=sender,
+                    recipient=recipient,
+                    message_id=message.message_id,
+                    ctx=context,
+                    detail=detail,
+                )
+            if not self._pump_armed:
+                self._pump_armed = True
+                self.driver.post(self._pump)
+        else:
+            self.metrics.counter(
+                "bus.dropped", labels={"type": type_name}
+            ).inc()
+            if tracer.enabled:
+                drop_detail = {"reason": "unreachable"}
+                if detail:
+                    drop_detail.update(detail)
+                tracer.bus_event(
+                    "drop",
+                    node=sender,
+                    type=type_name,
+                    sender=sender,
+                    recipient=recipient,
+                    message_id=message.message_id,
+                    ctx=context,
+                    detail=drop_detail,
+                )
         return sent
 
     def _pump(self) -> None:
         self._pump_armed = False
         self.bus.dispatch_all()
+        if self._sent_at:
+            # dispatch_all drains the whole queue, so anything still
+            # outstanding was dropped at dispatch time (its recipient
+            # turned unreachable after queueing).
+            for message_id in sorted(self._sent_at):
+                type_name = self._sent_at[message_id][1]
+                self.metrics.counter(
+                    "bus.dropped", labels={"type": type_name}
+                ).inc()
+                if self.tracer.enabled:
+                    self.tracer.bus_event(
+                        "drop",
+                        node="bus",
+                        type=type_name,
+                        message_id=message_id,
+                        detail={"reason": "unreachable_at_dispatch"},
+                    )
+            self._sent_at.clear()
 
     @property
     def delivered(self) -> int:
@@ -327,12 +432,17 @@ class TsoRuntimeService:
         name: str = "tso",
         metrics: MetricsRegistry | None = None,
         net_forecast: TimeSeries | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ):
         self.config = config if config is not None else TsoConfig()
         self.adapter = adapter
         self.name = name
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.net_forecast = net_forecast
+        self.tracer = tracer if tracer is not None else adapter.tracer
+        # Last macro-snapshot trace context per BRP: the causal edge from
+        # the BRP plan that published the macros into the next TSO run.
+        self._snapshot_ctx: dict[str, Any] = {}
         self.scheduler = default_registry().create_with_capability(
             KIND_SCHEDULER, self.config.scheduler, "runtime"
         )
@@ -366,6 +476,8 @@ class TsoRuntimeService:
     def handle_message(self, message: Message) -> None:
         if message.type is not MessageType.MACRO_FLEX_OFFER:
             raise CommunicationError(f"{self.name}: unexpected {message.type}")
+        if message.trace is not None:
+            self._snapshot_ctx[message.sender] = message.trace
         self.receive_snapshot(message.sender, message.payload)
 
     def receive_snapshot(
@@ -382,6 +494,18 @@ class TsoRuntimeService:
         self.metrics.counter("tso.macro_snapshots").inc()
         self.metrics.counter("tso.macros_received").inc(len(fresh))
         self.metrics.gauge("tso.macro_pool").set(self.macro_count)
+        if self.tracer.enabled:
+            # Macros are few (one per committed BRP aggregate), so their
+            # lifecycle is always recorded regardless of the sampling
+            # stride — the chain's trunk must stay complete.
+            for offer_id in sorted(fresh):
+                self.tracer.offer_event(
+                    offer_id,
+                    "macro_received",
+                    node=self.name,
+                    force=True,
+                    detail={"brp": brp},
+                )
         self.maybe_schedule()
 
     # ------------------------------------------------------------------
@@ -399,8 +523,21 @@ class TsoRuntimeService:
         self._last_run_time = self.now
         self._pending_refreshes = 0
         self.metrics.counter("tso.runs").inc()
+        t0 = time.perf_counter()
+        with self.tracer.span(
+            "schedule", node=self.name, labels={"stage": "schedule"}
+        ) as span:
+            result = self._schedule_macros(span)
+        self.metrics.histogram(
+            "stage.wall_seconds", labels={"brp": self.name, "stage": "schedule"}
+        ).observe(time.perf_counter() - t0)
+        return result
+
+    def _schedule_macros(self, span) -> SchedulingResult | None:
+        """The planning body of :meth:`run_scheduling` (inside its span)."""
         start = int(math.ceil(self.now))
         end = start + self.config.horizon_slices
+        trace = self.tracer.enabled
 
         eligible: list[AggregatedFlexOffer] = []
         # Deterministic pool order regardless of snapshot arrival
@@ -409,10 +546,16 @@ class TsoRuntimeService:
         # their full windows, and the clip happens at the super level.
         for brp in sorted(self._macros_by_brp):
             macros = self._macros_by_brp[brp]
+            contributed = False
             for offer_id in sorted(macros):
                 macro = macros[offer_id]
                 if eligible_for_window(macro, start, end) is not None:
                     eligible.append(macro)
+                    contributed = True
+            if contributed and trace:
+                # Link this run back to the BRP plan whose publish carried
+                # the snapshot — the uplink edge of the causal graph.
+                span.link(self._snapshot_ctx.get(brp))
         if not eligible:
             self.metrics.counter("tso.empty_runs").inc()
             return None
@@ -460,7 +603,7 @@ class TsoRuntimeService:
             time.perf_counter() - t0
         )
         self.last_plan_cost = float(result.cost)
-        self.metrics.gauge("tso.last_cost").set(result.cost)
+        self.metrics.gauge("tso.last_cost", merge="last").set(result.cost)
 
         returned = 0
         schedule = problem.to_schedule(result.solution)
@@ -469,15 +612,25 @@ class TsoRuntimeService:
                 original, scheduled_super.start, scheduled_super.energies
             )
             for scheduled_macro in disaggregate(anchored):
-                home = self._macro_home.get(scheduled_macro.offer.offer_id)
+                macro_id = scheduled_macro.offer.offer_id
+                home = self._macro_home.get(macro_id)
                 if home is None:
                     continue
+                if trace:
+                    self.tracer.offer_event(
+                        macro_id,
+                        "macro_scheduled",
+                        node=self.name,
+                        force=True,
+                        detail={"super": original.offer_id, "brp": home},
+                    )
                 if self.adapter.send(
                     self.name,
                     home,
                     MessageType.SCHEDULED_MACRO_FLEX_OFFER,
                     scheduled_macro,
                     start,
+                    detail={"macro": macro_id} if trace else None,
                 ):
                     returned += 1
         self.metrics.counter("tso.macros_returned").inc(returned)
@@ -587,6 +740,7 @@ class ClusterRuntime:
         driver: TimeDriver | None = None,
         bus: MessageBus | None = None,
         tso_net_forecast: TimeSeries | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ):
         # Imported lazily: the api facade sits above the runtime package.
         from ..api.client import LedmsClient
@@ -596,16 +750,27 @@ class ClusterRuntime:
             driver if driver is not None else SimulatedDriver()
         )
         self.bus = bus if bus is not None else MessageBus()
-        self.adapter = BusAdapter(self.bus, self.driver)
+        # One shared tracer across every node: span ids are then unique
+        # cluster-wide and the ring holds the whole causal graph in one
+        # deterministic sequence.
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.tracer.bind_clock(sim_clock(self.driver))
+        self.adapter = BusAdapter(self.bus, self.driver, tracer=self.tracer)
         self.tso = TsoRuntimeService(
             self.config.tso,
             adapter=self.adapter,
             name=self.config.tso_name,
             net_forecast=tso_net_forecast,
+            tracer=self.tracer,
         )
         self.clients: dict[str, LedmsClient] = {}
         for name, service_config in self.config.brps.items():
-            client = LedmsClient(service_config, driver=self.driver)
+            client = LedmsClient(
+                service_config,
+                driver=self.driver,
+                name=name,
+                tracer=self.tracer,
+            )
             self.clients[name] = client
             self._wire_brp(name, client)
 
@@ -620,12 +785,16 @@ class ClusterRuntime:
             # replaces the TSO's previous view of this BRP.
             macros = _service.last_plan_originals
             if macros:
+                detail = None
+                if self.tracer.enabled:
+                    detail = {"macro_ids": [m.offer_id for m in macros]}
                 self.adapter.send(
                     _name,
                     self.config.tso_name,
                     MessageType.MACRO_FLEX_OFFER,
                     macros,
                     _service.now,
+                    detail=detail,
                 )
 
         def handle(message: Message, _service=service) -> None:
@@ -653,15 +822,27 @@ class ClusterRuntime:
     def metrics(self) -> MetricsRegistry:
         """Cluster-level aggregation of every BRP's metrics registry.
 
-        Counters and gauges sum by name; latency histograms pool their
+        Counters and gauges sum by name (gauges declared ``merge="last"``
+        or ``"max"`` follow their policy); latency histograms pool their
         observations, so cluster-wide p50/p95 come from the merged
         distribution rather than a max-of-maxima.  The TSO's ``tso.*``
-        instruments ride along (its names are disjoint from the BRPs').
+        instruments and the bus adapter's ``bus.*`` instruments ride along
+        (their names are disjoint from the BRPs').
         """
         return aggregate_registries(
             [client.service.metrics for client in self.clients.values()]
-            + [self.tso.metrics]
+            + [self.tso.metrics, self.adapter.metrics]
         )
+
+    def trace_shutdown(self) -> None:
+        """Emit terminal ``live_at_shutdown`` events for still-open offers.
+
+        Call once after the final drain (the CLI does) so the trace
+        validator can require a terminal lifecycle state for every
+        submitted offer.
+        """
+        for client in self.clients.values():
+            client.service.trace_shutdown()
 
     # ------------------------------------------------------------------
     def run(

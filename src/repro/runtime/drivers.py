@@ -37,7 +37,18 @@ from typing import Callable, Protocol, runtime_checkable
 from ..core.errors import ServiceError
 from .clock import ClockError, EventQueue
 
-__all__ = ["TimeDriver", "SimulatedDriver", "WallClockDriver"]
+__all__ = ["TimeDriver", "SimulatedDriver", "WallClockDriver", "sim_clock"]
+
+
+def sim_clock(driver: "TimeDriver") -> Callable[[], float]:
+    """A sim-time source reading ``driver.now``, for tracer clock binding.
+
+    ``driver.now`` is a property, so it cannot be passed as a callable
+    directly; every service binds its tracer's clock through this one
+    helper instead of ad-hoc lambdas (and gets a late-bound read — the
+    returned callable always reflects the driver's current time).
+    """
+    return lambda: driver.now
 
 
 @runtime_checkable

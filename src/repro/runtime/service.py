@@ -42,6 +42,7 @@ from ..core.errors import ServiceError
 from ..core.flexoffer import FlexOffer
 from ..core.timeseries import TimeSeries
 from ..datamgmt.mirabel import LedmsStore
+from ..obs.tracing import NullTracer, Tracer
 from ..api.registry import KIND_SCHEDULER, default_registry
 from ..scheduling import (
     CandidateSolution,
@@ -50,9 +51,9 @@ from ..scheduling import (
     SchedulingResult,
 )
 from .config import RuntimeConfig, ServiceConfig
-from .drivers import SimulatedDriver, TimeDriver
+from .drivers import SimulatedDriver, TimeDriver, sim_clock
 from .ingest import FlexOfferIngest
-from .metrics import MetricsRegistry
+from .metrics import Histogram, MetricsRegistry
 from .sharding import ShardedFlexOfferIngest
 from .triggers import AnyTrigger, TriggerContext
 
@@ -196,6 +197,8 @@ class BrpRuntimeService:
         metrics: MetricsRegistry | None = None,
         net_forecast: TimeSeries | None = None,
         driver: TimeDriver | None = None,
+        name: str = "brp",
+        tracer: Tracer | NullTracer | None = None,
     ):
         self.config = config if config is not None else ServiceConfig()
         self.store = (
@@ -206,6 +209,19 @@ class BrpRuntimeService:
         self.driver: TimeDriver = (
             driver if driver is not None else SimulatedDriver()
         )
+        #: This node's name — the bus address in a cluster, and the ``brp``
+        #: label on per-stage metrics and trace events.
+        self.name = name
+        # An injected tracer wins over the config section (how a cluster
+        # shares one ring/event-log across every node); the default is the
+        # no-op NullTracer, so instrumentation guards stay cheap.
+        self.tracer = (
+            tracer if tracer is not None else self.config.obs.build_tracer()
+        )
+        self.tracer.bind_clock(sim_clock(self.driver))
+        if self.tracer.enabled:
+            self.store.subscribe(self._trace_store_event)
+        self._stage_hists: dict[str, Histogram] = {}
         #: The simulated event queue when the driver has one (kept for
         #: backward compatibility: ``service.queue.clock.advance_to(...)``);
         #: ``None`` under wall-clock drivers.
@@ -271,6 +287,40 @@ class BrpRuntimeService:
         # unscheduled offer (entries invalidated lazily).
         self._unscheduled_energy = 0.0
         self._pending_heap: list[tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+    def _trace_store_event(self, offer_id: int, state: str, now: int) -> None:
+        """Mirror store lifecycle transitions into the trace (if sampled)."""
+        self.tracer.offer_event(offer_id, state, node=self.name)
+
+    def _stage(self, stage: str):
+        """A span around one pipeline stage (no-op under NullTracer)."""
+        return self.tracer.span(stage, node=self.name, labels={"stage": stage})
+
+    def _observe_stage(self, stage: str, seconds: float) -> None:
+        """Feed the labeled per-stage wall-time histogram (hoisted lookup)."""
+        hist = self._stage_hists.get(stage)
+        if hist is None:
+            hist = self._stage_hists[stage] = self.metrics.histogram(
+                "stage.wall_seconds", labels={"brp": self.name, "stage": stage}
+            )
+        hist.observe(seconds)
+
+    def trace_shutdown(self) -> None:
+        """Close the trace: mark offers still live at end of run.
+
+        Emits a ``live_at_shutdown`` lifecycle event for every live offer,
+        so a trace validator can require that each submitted offer reaches
+        *some* terminal event even when the run window closed mid-flight.
+        """
+        if not self.tracer.enabled:
+            return
+        for offer_id in sorted(self._live):
+            self.tracer.offer_event(
+                offer_id, "live_at_shutdown", node=self.name
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -364,18 +414,19 @@ class BrpRuntimeService:
         if self.ingest.pending_updates == 0:
             return []
         t0 = time.perf_counter()
-        updates = self.ingest.flush(self._now_slice)
-        for update in updates:
-            if update.kind is UpdateKind.DELETED:
-                self.pool.pop(update.group_id, None)
-                self._warm.pop(update.group_id, None)
-            else:
-                self.pool[update.group_id] = update
+        with self._stage("aggregate"):
+            updates = self.ingest.flush(self._now_slice)
+            for update in updates:
+                if update.kind is UpdateKind.DELETED:
+                    self.pool.pop(update.group_id, None)
+                    self._warm.pop(update.group_id, None)
+                else:
+                    self.pool[update.group_id] = update
+        elapsed = time.perf_counter() - t0
         self.metrics.counter("aggregate.runs").inc()
-        self.metrics.histogram("aggregate.batch_seconds").observe(
-            time.perf_counter() - t0
-        )
+        self.metrics.histogram("aggregate.batch_seconds").observe(elapsed)
         self.metrics.gauge("aggregate.pool_size").set(len(self.pool))
+        self._observe_stage("aggregate", elapsed)
         return updates
 
     # ------------------------------------------------------------------
@@ -420,6 +471,14 @@ class BrpRuntimeService:
                 fired = [type(trigger).__name__]
             for name in fired:
                 self.metrics.counter(f"trigger.{name}").inc()
+            if self.tracer.enabled:
+                self.tracer.trigger_event(
+                    node=self.name, fired=fired, decision=True
+                )
+        elif self.tracer.enabled:
+            self.tracer.trigger_event(
+                node=self.name, fired=["forced"], decision=True
+            )
         return self.run_scheduling()
 
     def run_scheduling(self) -> SchedulingResult | None:
@@ -432,7 +491,14 @@ class BrpRuntimeService:
         self._last_run_time = self.now
         self._offers_since_run = 0
         self.metrics.counter("schedule.runs").inc()
+        t0 = time.perf_counter()
+        with self._stage("schedule"):
+            result = self._schedule_pool()
+        self._observe_stage("schedule", time.perf_counter() - t0)
+        return result
 
+    def _schedule_pool(self) -> SchedulingResult | None:
+        """The planning body of :meth:`run_scheduling` (inside its span)."""
         start = self._now_slice
         end = start + self.config.horizon_slices
         eligible: list[tuple[str, AggregatedFlexOffer]] = []
@@ -471,8 +537,8 @@ class BrpRuntimeService:
         self.metrics.histogram("schedule.run_seconds").observe(
             time.perf_counter() - t0
         )
-        self.metrics.gauge("schedule.last_cost").set(result.cost)
-        self.metrics.gauge("schedule.last_offers").set(len(eligible))
+        self.metrics.gauge("schedule.last_cost", merge="last").set(result.cost)
+        self.metrics.gauge("schedule.last_offers", merge="last").set(len(eligible))
         if warm is not None:
             self.metrics.counter("schedule.warm_started").inc()
 
@@ -537,28 +603,40 @@ class BrpRuntimeService:
         now = self._now_slice
         latency_sim = self.metrics.histogram("latency.e2e_slices")
         latency_wall = self.metrics.histogram("latency.e2e_wall_seconds")
+        trace = self.tracer.enabled
         members_out = 0
         skipped = 0
         cache = self._plan_cache
         fresh_cache: dict[int, tuple[int, tuple]] = {}
-        for assignment, original in zip(schedule, originals):
-            plan = (assignment.start, assignment.energies)
-            fresh_cache[original.offer_id] = plan
-            if cache.get(original.offer_id) == plan:
-                # Same aggregate object, same plan: every member's schedule
-                # is identical to the one already committed and recorded.
-                skipped += 1
-                continue
-            delta = assignment.start - original.earliest_start
-            for member in original.members:
-                members_out += 1
-                self._commit_member(
-                    member,
-                    member.earliest_start + delta,
-                    now,
-                    latency_sim,
-                    latency_wall,
-                )
+        t0 = time.perf_counter()
+        with self._stage("disaggregate"):
+            for assignment, original in zip(schedule, originals):
+                plan = (assignment.start, assignment.energies)
+                fresh_cache[original.offer_id] = plan
+                if cache.get(original.offer_id) == plan:
+                    # Same aggregate object, same plan: every member's
+                    # schedule is identical to the one already committed
+                    # and recorded.
+                    skipped += 1
+                    continue
+                delta = assignment.start - original.earliest_start
+                for member in original.members:
+                    members_out += 1
+                    self._commit_member(
+                        member,
+                        member.earliest_start + delta,
+                        now,
+                        latency_sim,
+                        latency_wall,
+                    )
+                    if trace:
+                        self.tracer.offer_event(
+                            member.offer_id,
+                            "aggregated_into",
+                            node=self.name,
+                            detail={"macro": original.offer_id},
+                        )
+        self._observe_stage("disaggregate", time.perf_counter() - t0)
         self._plan_cache = fresh_cache
         self.metrics.counter("disaggregate.assignments").inc(members_out)
         self.metrics.counter("disaggregate.unchanged_skipped").inc(skipped)
@@ -610,17 +688,34 @@ class BrpRuntimeService:
         now = self._now_slice
         latency_sim = self.metrics.histogram("latency.e2e_slices")
         latency_wall = self.metrics.histogram("latency.e2e_wall_seconds")
+        trace = self.tracer.enabled
         delta = scheduled.start - aggregate.earliest_start
         committed = 0
-        for member in aggregate.members:
-            if self._commit_member(
-                member,
-                member.earliest_start + delta,
-                now,
-                latency_sim,
-                latency_wall,
-            ):
-                committed += 1
+        with self._stage("remote_commit"):
+            for member in aggregate.members:
+                if self._commit_member(
+                    member,
+                    member.earliest_start + delta,
+                    now,
+                    latency_sim,
+                    latency_wall,
+                ):
+                    committed += 1
+                    if trace:
+                        self.tracer.offer_event(
+                            member.offer_id,
+                            "remote_commit",
+                            node=self.name,
+                            detail={"macro": aggregate.offer_id},
+                        )
+        if trace:
+            self.tracer.offer_event(
+                aggregate.offer_id,
+                "macro_commit",
+                node=self.name,
+                force=True,
+                detail={"members": committed},
+            )
         # A remote commitment supersedes the cached local plan for this
         # aggregate: the next local re-plan must re-commit the members even
         # when it reproduces the same placement.
@@ -641,6 +736,14 @@ class BrpRuntimeService:
         passed with the start window still open.  Both leave the aggregation
         pool via incremental delete updates.
         """
+        t0 = time.perf_counter()
+        with self._stage("sweep"):
+            retired = self._sweep_pool()
+        self._observe_stage("sweep", time.perf_counter() - t0)
+        return retired
+
+    def _sweep_pool(self) -> int:
+        """The retirement body of :meth:`sweep_expired` (inside its span)."""
         now = self.now
         now_slice = self._now_slice
 
