@@ -21,6 +21,9 @@ Usage::
     python -m repro loadtest --metrics --metrics-format prometheus
     python -m repro loadtest --metrics-json metrics.json
 
+    python -m repro loadtest --ledger led/ --duplicate-rate 0.1   # durable + chaos
+    python -m repro loadtest --brps 3 --ledger led/ --outage brp-1:20:36
+
 Engine/scheduler/driver names are resolved through the
 :mod:`repro.api.registry`; unknown names exit ``2`` with the known set.
 
@@ -228,6 +231,40 @@ def _runtime_parser(command: str) -> argparse.ArgumentParser:
         "divisible by N (default 1 = every offer; macro events are always "
         "traced)",
     )
+    parser.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="journal every state-changing ingest fact to a durable "
+        "segmented JSONL event log under DIR (cluster mode: one DIR/<brp> "
+        "subdirectory per node); enables idempotent ingest and "
+        "crash-recovery via 'repro.api.LedmsClient.resume_from_ledger'",
+    )
+    parser.add_argument(
+        "--fsync", default="commit", metavar="MODE",
+        help="ledger durability mode: 'commit' (fsync every append, "
+        "default), 'close' (fsync on segment close) or 'never'",
+    )
+    parser.add_argument(
+        "--duplicate-rate", type=float, default=0.0, metavar="P",
+        help="fault injection: re-emit this fraction of arrivals later "
+        "(at-least-once delivery; 0..1, default 0)",
+    )
+    parser.add_argument(
+        "--reorder-window", type=float, default=0.0, metavar="SLICES",
+        help="fault injection: shuffle offers within windows of this many "
+        "slices (out-of-order delivery; default 0 = in order)",
+    )
+    parser.add_argument(
+        "--outage", metavar="BRP:START:END", action="append", default=None,
+        help="fault injection (cluster mode only): make BRP unreachable on "
+        "the bus from slice START to END; repeatable, parked messages "
+        "replay on recovery",
+    )
+    parser.add_argument(
+        "--bus-retries", type=int, default=0, metavar="N",
+        help="cluster mode: redeliver undeliverable bus messages up to N "
+        "times with exponential backoff before parking them (default 0 = "
+        "best-effort drop; overrides a --cluster file's bus section)",
+    )
     if command == "serve":
         parser.add_argument(
             "--report-every", type=float, default=96.0,
@@ -283,10 +320,12 @@ def _run_runtime(command: str, argv: list[str]) -> int:
         KIND_AGGREGATION,
         KIND_DRIVER,
         KIND_EXPORTER,
+        KIND_FAULT,
         KIND_SCHEDULER,
         LedmsClient,
         default_registry,
     )
+    from .api.ledger import FSYNC_MODES
     from .api.config import (
         AggregationConfig,
         IngestConfig,
@@ -331,6 +370,49 @@ def _run_runtime(command: str, argv: list[str]) -> int:
         print(f"error: --brps must be positive, got {args.brps}", file=sys.stderr)
         return EXIT_UNKNOWN_EXPERIMENT
 
+    # Fault-injection and durability knobs are validated up front so a bad
+    # spec never starts a (potentially long) run.
+    if not 0.0 <= args.duplicate_rate <= 1.0:
+        print(
+            f"error: --duplicate-rate must be in [0, 1], got "
+            f"{args.duplicate_rate}",
+            file=sys.stderr,
+        )
+        return EXIT_UNKNOWN_EXPERIMENT
+    if args.reorder_window < 0.0:
+        print(
+            f"error: --reorder-window must be >= 0, got {args.reorder_window}",
+            file=sys.stderr,
+        )
+        return EXIT_UNKNOWN_EXPERIMENT
+    if args.fsync not in FSYNC_MODES:
+        print(
+            f"error: unknown --fsync mode {args.fsync!r}; known modes: "
+            f"{', '.join(FSYNC_MODES)}",
+            file=sys.stderr,
+        )
+        return EXIT_UNKNOWN_EXPERIMENT
+    if args.bus_retries < 0:
+        print(
+            f"error: --bus-retries must be >= 0, got {args.bus_retries}",
+            file=sys.stderr,
+        )
+        return EXIT_UNKNOWN_EXPERIMENT
+    outages = []
+    if args.outage:
+        if args.cluster is None and args.brps == 1:
+            print(
+                "error: --outage needs cluster mode (--brps K or --cluster)",
+                file=sys.stderr,
+            )
+            return EXIT_UNKNOWN_EXPERIMENT
+        for spec in args.outage:
+            try:
+                outages.append(registry.create(KIND_FAULT, "outage", spec))
+            except ServiceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return EXIT_UNKNOWN_EXPERIMENT
+
     try:
         config = ServiceConfig(
             aggregation=AggregationConfig(
@@ -363,8 +445,11 @@ def _run_runtime(command: str, argv: list[str]) -> int:
         driver = registry.create(KIND_DRIVER, args.driver, **driver_kwargs)
         tracer, writers = _build_tracer(args)
         if args.cluster is not None or args.brps > 1:
-            return _run_cluster(command, args, config, driver, tracer, writers)
-        client = LedmsClient(config, driver=driver, tracer=tracer)
+            return _run_cluster(
+                command, args, config, driver, tracer, writers, outages
+            )
+        ledger = _make_ledger(args)
+        client = LedmsClient(config, driver=driver, tracer=tracer, ledger=ledger)
         generator = LoadGenerator(rate_per_hour=args.rate, seed=args.seed)
     except ServiceError as exc:
         print(f"error: invalid {command} configuration: {exc}", file=sys.stderr)
@@ -379,7 +464,7 @@ def _run_runtime(command: str, argv: list[str]) -> int:
     )
     try:
         report = client.run_stream(
-            generator.stream(0.0, args.duration),
+            _fault_stream(generator.stream(0.0, args.duration), args, args.seed),
             args.duration,
             report_every=getattr(args, "report_every", None),
             report_sink=lambda line: print(line, file=out),
@@ -394,6 +479,44 @@ def _run_runtime(command: str, argv: list[str]) -> int:
     print(report.as_text(), file=out)
     _emit_metrics(args, registry, client.service.metrics, out)
     return EXIT_OK
+
+
+def _make_ledger(args, name: str | None = None):
+    """An :class:`OfferLedger` over ``--ledger DIR`` (or ``None`` without it).
+
+    Cluster mode passes the BRP ``name`` so each node journals into its own
+    ``DIR/<name>`` subdirectory — one recoverable log per service.
+    """
+    if args.ledger is None:
+        return None
+    import os
+
+    from .api.ledger import JsonlEventLog, OfferLedger
+
+    directory = args.ledger if name is None else os.path.join(args.ledger, name)
+    log = JsonlEventLog(directory, fsync=args.fsync)
+    return OfferLedger(log, node=name or "brp")
+
+
+def _fault_stream(arrivals, args, seed: int):
+    """Apply the ``--reorder-window`` / ``--duplicate-rate`` transforms.
+
+    Transforms resolve through the fault registry (reorder before
+    duplicate, so re-emissions duplicate the *delivered* order); with both
+    knobs at their defaults the stream passes through untouched.
+    """
+    from .api import KIND_FAULT, default_registry
+
+    registry = default_registry()
+    if args.reorder_window > 0.0:
+        arrivals = registry.create(
+            KIND_FAULT, "reorder", arrivals, args.reorder_window, seed=seed
+        )
+    if args.duplicate_rate > 0.0:
+        arrivals = registry.create(
+            KIND_FAULT, "duplicate", arrivals, args.duplicate_rate, seed=seed + 1
+        )
+    return arrivals
 
 
 def _build_tracer(args):
@@ -437,7 +560,9 @@ def _emit_metrics(args, registry, metrics, out) -> None:
             handle.write("\n")
 
 
-def _run_cluster(command: str, args, config, driver, tracer, writers) -> int:
+def _run_cluster(
+    command: str, args, config, driver, tracer, writers, outages=()
+) -> int:
     """Multi-node mode of serve/loadtest: K BRPs + TSO over the bus.
 
     ``--cluster FILE.json`` supplies per-BRP service sections and the TSO
@@ -445,11 +570,14 @@ def _run_cluster(command: str, args, config, driver, tracer, writers) -> int:
     replicates the flag-derived config as-is.  Every BRP replays its own
     Poisson stream (seeded ``--seed + index``, so per-BRP traffic differs
     but the whole cluster run is deterministic) on the one shared driver.
+    With ``--ledger DIR`` each BRP journals into ``DIR/<name>``; ``--outage``
+    specs schedule bus-reachability toggles on the shared driver.
     """
     import json
 
     from .api import ClusterConfig, ClusterRuntime
-    from .runtime import LoadGenerator
+    from .core.errors import ServiceError
+    from .runtime import LoadGenerator, apply_outages
 
     if args.cluster is not None:
         try:
@@ -475,11 +603,36 @@ def _run_cluster(command: str, args, config, driver, tracer, writers) -> int:
         cluster_config = ClusterConfig.from_dict(spec, base=config)
     else:
         cluster_config = ClusterConfig.uniform(args.brps, config)
-    cluster = ClusterRuntime(cluster_config, driver=driver, tracer=tracer)
+    if args.bus_retries > 0:
+        import dataclasses
+
+        from .runtime import BusConfig
+
+        cluster_config = dataclasses.replace(
+            cluster_config, bus=BusConfig(max_retries=args.bus_retries)
+        )
+    ledger_factory = (
+        (lambda name: _make_ledger(args, name)) if args.ledger else None
+    )
+    cluster = ClusterRuntime(
+        cluster_config,
+        driver=driver,
+        tracer=tracer,
+        ledger_factory=ledger_factory,
+    )
+    try:
+        apply_outages(cluster, outages)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_UNKNOWN_EXPERIMENT
     streams = {
-        name: LoadGenerator(
-            rate_per_hour=args.rate, seed=args.seed + index
-        ).stream(0.0, args.duration)
+        name: _fault_stream(
+            LoadGenerator(
+                rate_per_hour=args.rate, seed=args.seed + index
+            ).stream(0.0, args.duration),
+            args,
+            args.seed + index,
+        )
         for index, name in enumerate(cluster.clients)
     }
     out = sys.stderr if args.log_json else sys.stdout

@@ -33,6 +33,7 @@ from .registry import (
     KIND_AGGREGATION,
     KIND_DRIVER,
     KIND_EXPORTER,
+    KIND_FAULT,
     KIND_SCHEDULER,
     KIND_TRIGGER,
     Registration,
@@ -44,27 +45,34 @@ from .registry import (
 __all__ = [
     "AggregationConfig",
     "BusAdapter",
+    "BusConfig",
     "ClusterConfig",
     "ClusterReport",
     "ClusterRuntime",
+    "DeadLetter",
     "IngestConfig",
+    "JsonlEventLog",
     "JsonlWriter",
     "KIND_AGGREGATION",
     "KIND_DRIVER",
     "KIND_EXPORTER",
+    "KIND_FAULT",
     "KIND_SCHEDULER",
     "KIND_TRIGGER",
     "LedmsClient",
     "LedmsSession",
     "MarketConfig",
+    "MemoryEventLog",
     "NullTracer",
     "ObsConfig",
+    "OfferLedger",
     "OfferView",
     "PlanAssignment",
     "PlanView",
     "Registration",
     "Registry",
     "RegistryError",
+    "ReplayStats",
     "SchedulingConfig",
     "ServiceConfig",
     "SimulatedDriver",
@@ -104,11 +112,17 @@ _LAZY_EXPORTS = {
     "TimeDriver": "drivers",
     "WallClockDriver": "drivers",
     "BusAdapter": "cluster",
+    "BusConfig": "cluster",
     "ClusterConfig": "cluster",
     "ClusterReport": "cluster",
     "ClusterRuntime": "cluster",
     "TsoConfig": "cluster",
     "TsoRuntimeService": "cluster",
+    "DeadLetter": "ledger",
+    "JsonlEventLog": "ledger",
+    "MemoryEventLog": "ledger",
+    "OfferLedger": "ledger",
+    "ReplayStats": "ledger",
 }
 
 

@@ -25,6 +25,7 @@ restart mid-stream without losing its population.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable
 
@@ -32,6 +33,10 @@ from ..core.errors import ServiceError
 from ..core.flexoffer import FlexOffer
 from ..core.timeseries import TimeSeries
 from ..datamgmt.mirabel import LedmsStore
+from ..ledger import replay as ledger_replay
+from ..ledger.codec import default_source_event_id
+from ..ledger.ledger import DeadLetter, OfferLedger
+from ..ledger.log import JsonlEventLog
 from ..runtime.config import ServiceConfig
 from ..runtime.drivers import SimulatedDriver, TimeDriver
 from ..runtime.metrics import MetricsRegistry
@@ -136,6 +141,7 @@ class LedmsClient:
         net_forecast: TimeSeries | None = None,
         name: str = "brp",
         tracer=None,
+        ledger: OfferLedger | None = None,
     ):
         self.service = BrpRuntimeService(
             config,
@@ -145,7 +151,11 @@ class LedmsClient:
             driver=driver,
             name=name,
             tracer=tracer,
+            ledger=ledger,
         )
+        #: Replay statistics when this client was built by
+        #: :meth:`resume_from_ledger`; ``None`` otherwise.
+        self.last_replay: ledger_replay.ReplayStats | None = None
         self._last_plan: PlanView | None = None
         self._plan_hooks: list[Callable[[PlanView], None]] = []
         self._state_hooks: list[Callable[[int, str, int], None]] = []
@@ -225,19 +235,31 @@ class LedmsClient:
         )
 
     # -- operations ------------------------------------------------------
-    def submit(self, offer: FlexOffer) -> SubmitResult:
-        """Admit one flex-offer; always returns a :class:`SubmitResult`."""
-        accepted = self.service.submit(offer)
-        if accepted is not None:
-            return SubmitResult(True, accepted.offer_id, accepted)
-        reason = self.service.ingest.reject_reason(
-            offer, self.service.now_slice
-        )
+    def submit(
+        self, offer: FlexOffer, *, source_event_id: str | None = None
+    ) -> SubmitResult:
+        """Admit one flex-offer; always returns a :class:`SubmitResult`.
+
+        With a ledger attached the submission is journaled as an immutable
+        fact; a duplicate (same ``source_event_id``, content-derived by
+        default) is deflected to the *originally recorded* result instead
+        of double-counting.
+        """
+        outcome = self.service.submit_fact(offer, source_event_id)
+        if outcome.accepted:
+            return SubmitResult(True, outcome.offer_id, outcome.offer)
+        reason = outcome.reason
+        if reason is None and not outcome.duplicate:
+            reason = self.service.ingest.reject_reason(
+                offer, self.service.now_slice
+            )
         return SubmitResult(
-            False, offer.offer_id, None, reason or "rejected"
+            False, outcome.offer_id, None, reason or "rejected"
         )
 
-    def update(self, offer: FlexOffer) -> SubmitResult:
+    def update(
+        self, offer: FlexOffer, *, source_event_id: str | None = None
+    ) -> SubmitResult:
         """Replace a live offer (same ``offer_id``) with a revised one.
 
         The revision is validated *before* the previous version is touched,
@@ -251,19 +273,104 @@ class LedmsClient:
         offer to a rejected update (unless its own window closed in the
         meantime — ordinary expiry).  Updating an unknown/retired id
         degrades to a plain submit.
+
+        With a ledger attached the edit journals as one ``reverse`` +
+        ``replace`` correction pair (the inner withdraw/submit facts are
+        suppressed; derived facts keep recording), and duplicates return
+        the originally recorded result.
         """
-        reason = self.service.ingest.reject_reason(
-            offer, self.service.now_slice
-        )
+        service = self.service
+        led = service.ledger
+        recording = led is not None and led.recording_inputs
+        sid = source_event_id
+        if recording:
+            if sid is None:
+                sid = default_source_event_id(offer)
+            prior = led.recorded_result(sid)
+            if prior is not None:
+                led.note_duplicate(sid, offer_id=prior.offer_id, at=service.now)
+                service.metrics.counter("ledger.duplicates").inc()
+                if service.tracer.enabled:
+                    service.tracer.ledger_event(
+                        "duplicate",
+                        prior.offer_id,
+                        node=service.name,
+                        detail={"source_event_id": sid},
+                    )
+                live = (
+                    service._live.get(prior.offer_id)
+                    if prior.accepted
+                    else None
+                )
+                return SubmitResult(
+                    prior.accepted, prior.offer_id, live, prior.reason
+                )
+        reason = service.ingest.reject_reason(offer, service.now_slice)
         if reason is not None:
+            if recording:
+                # The previous version stays live, so this journals as a
+                # rejected replace with no reverse half.
+                led.record_submit(
+                    offer,
+                    at=service.now,
+                    source_event_id=sid,
+                    accepted=False,
+                    reason=reason,
+                    kind="replace",
+                )
+                service.metrics.counter("ledger.dead_letters").inc()
+                if service.tracer.enabled:
+                    service.tracer.dlq_event(
+                        offer.offer_id, reason, node=service.name
+                    )
             return SubmitResult(False, offer.offer_id, None, reason)
+        if recording:
+            # Journal the compensating half before touching the pool, so
+            # derived facts the edit triggers land between the pair.
+            led.record_reverse(offer.offer_id, at=service.now, replaced_by=sid)
+            with led.suspended():
+                result = self._replace(offer)
+            led.record_submit(
+                offer,
+                at=service.now,
+                source_event_id=sid,
+                accepted=result.accepted,
+                reason=result.reason,
+                accepted_offer=result.offer,
+                kind="replace",
+                reverses=offer.offer_id,
+            )
+            if service.tracer.enabled:
+                service.tracer.ledger_event(
+                    "replace",
+                    offer.offer_id,
+                    node=service.name,
+                    detail={"accepted": result.accepted},
+                )
+                if not result.accepted:
+                    service.tracer.dlq_event(
+                        offer.offer_id, result.reason or "rejected",
+                        node=service.name,
+                    )
+            if not result.accepted:
+                service.metrics.counter("ledger.dead_letters").inc()
+            return result
+        return self._replace(offer)
+
+    def _replace(self, offer: FlexOffer) -> SubmitResult:
+        """The withdraw-flush-resubmit core of :meth:`update`."""
         previous = self.service.withdraw(offer.offer_id)
         if previous is not None:
             self.service.run_aggregation()
-        result = self.submit(offer)
-        if not result.accepted and previous is not None:
+        accepted = self.service.submit(offer)
+        if accepted is not None:
+            return SubmitResult(True, accepted.offer_id, accepted)
+        if previous is not None:
             self.service.submit(previous)  # best-effort reinstatement
-        return result
+        reason = self.service.ingest.reject_reason(
+            offer, self.service.now_slice
+        )
+        return SubmitResult(False, offer.offer_id, None, reason or "rejected")
 
     def withdraw(self, offer_id: int) -> bool:
         """Retract a live offer; True when something was withdrawn."""
@@ -295,6 +402,20 @@ class LedmsClient:
     def metrics(self) -> dict:
         """Flat snapshot of the node's metrics registry."""
         return self.service.metrics.as_dict()
+
+    # -- durability ------------------------------------------------------
+    @property
+    def ledger(self) -> OfferLedger | None:
+        """The attached durable event ledger (None when not configured)."""
+        return self.service.ledger
+
+    def dead_letters(self) -> tuple[DeadLetter, ...]:
+        """The dead-letter queue: rejected/malformed submissions + reasons.
+
+        Empty when no ledger is attached.
+        """
+        led = self.service.ledger
+        return led.dead_letters() if led is not None else ()
 
     # -- driving ---------------------------------------------------------
     def run_stream(
@@ -385,6 +506,84 @@ class LedmsClient:
         for offer in store.live_offers():
             client.service.submit(offer)
         client.service.run_aggregation()
+        return client
+
+    @classmethod
+    def resume_from_ledger(
+        cls,
+        log,
+        config: ServiceConfig | None = None,
+        *,
+        driver: TimeDriver | None = None,
+        metrics: MetricsRegistry | None = None,
+        net_forecast: TimeSeries | None = None,
+        name: str = "brp",
+        tracer=None,
+        mode: str | None = None,
+        fsync: str = "commit",
+    ) -> "LedmsClient":
+        """Rebuild a node from its durable event log (crash recovery).
+
+        ``log`` is a ledger directory path, an event-log backend
+        (:class:`~repro.ledger.JsonlEventLog` /
+        :class:`~repro.ledger.MemoryEventLog`) or an
+        :class:`~repro.ledger.OfferLedger`.  Two replay modes:
+
+        ``"reexecute"`` (default under simulated time)
+            Re-drive every journaled input at its recorded instant on a
+            fresh simulated driver — the rebuilt node is *bit-identical*
+            to the uninterrupted run at the last journaled time, and the
+            run can simply continue.
+
+        ``"project"`` (default when an explicit driver sits past the log,
+        e.g. wall-clock)
+            Fold the facts into store/service state at the current time:
+            zero-loss (live pool, committed starts, terminal history) but
+            not bit-for-bit internal state.
+
+        The returned client keeps the ledger attached (new operations keep
+        journaling) and exposes the replay summary as ``client.last_replay``.
+        """
+        if isinstance(log, OfferLedger):
+            ledger = log
+            ledger.node = name
+        else:
+            if isinstance(log, (str, os.PathLike)):
+                log = JsonlEventLog(log, fsync=fsync)
+            ledger = OfferLedger(log, node=name)
+        events = list(ledger.events())
+        times = [float(e["at"]) for e in events]
+        first = min(times) if times else 0.0
+        last = max(times) if times else 0.0
+        if mode is None:
+            if driver is None or (
+                isinstance(driver, SimulatedDriver) and driver.now <= first
+            ):
+                mode = "reexecute"
+            else:
+                mode = "project"
+        if mode not in ("reexecute", "project"):
+            raise ServiceError(
+                f"unknown ledger replay mode {mode!r}; "
+                "expected 'reexecute' or 'project'"
+            )
+        if driver is None:
+            driver = SimulatedDriver(first if mode == "reexecute" else last)
+        client = cls(
+            config,
+            driver=driver,
+            metrics=metrics,
+            net_forecast=net_forecast,
+            name=name,
+            tracer=tracer,
+            ledger=ledger,
+        )
+        replay = (
+            ledger_replay.reexecute
+            if mode == "reexecute"
+            else ledger_replay.project
+        )
+        client.last_replay = replay(client, events)
         return client
 
 

@@ -9,6 +9,7 @@ their canonical public import path::
 
 from ..runtime.cluster import (
     BusAdapter,
+    BusConfig,
     ClusterConfig,
     ClusterReport,
     ClusterRuntime,
@@ -18,6 +19,7 @@ from ..runtime.cluster import (
 
 __all__ = [
     "BusAdapter",
+    "BusConfig",
     "ClusterConfig",
     "ClusterReport",
     "ClusterRuntime",

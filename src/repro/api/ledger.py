@@ -1,0 +1,42 @@
+"""The durable event ledger, re-exported at the api layer.
+
+The implementations live in :mod:`repro.ledger` (below the runtime, so the
+service loop can journal facts without cycles); this module is their
+canonical public import path::
+
+    from repro.api.ledger import OfferLedger, JsonlEventLog
+"""
+
+from ..ledger import (
+    FACT_KINDS,
+    FSYNC_MODES,
+    INPUT_KINDS,
+    DeadLetter,
+    JsonlEventLog,
+    MemoryEventLog,
+    OfferLedger,
+    RecordedResult,
+    ReplayStats,
+    default_source_event_id,
+    offer_from_dict,
+    offer_to_dict,
+    project,
+    reexecute,
+)
+
+__all__ = [
+    "FACT_KINDS",
+    "FSYNC_MODES",
+    "INPUT_KINDS",
+    "DeadLetter",
+    "JsonlEventLog",
+    "MemoryEventLog",
+    "OfferLedger",
+    "RecordedResult",
+    "ReplayStats",
+    "default_source_event_id",
+    "offer_from_dict",
+    "offer_to_dict",
+    "project",
+    "reexecute",
+]

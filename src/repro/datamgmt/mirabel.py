@@ -324,6 +324,27 @@ class LedmsStore:
         for callback in self._subscribers:
             callback(offer.offer_id, state, now)
 
+    def replay_offer_event(
+        self,
+        actor: str,
+        offer: FlexOffer,
+        state: str,
+        now: int,
+        *,
+        role: str = "prosumer",
+    ) -> None:
+        """Record a lifecycle transition replayed from a durable log.
+
+        Unlike :meth:`record_offer_event`, this never depends on
+        registration-order luck: a log replayed into a *fresh* store
+        carries facts for actors (dimension rows) the store has never
+        seen, so the actor is auto-registered first —
+        :meth:`register_actor` is idempotent, making this safe to call
+        for every replayed fact.
+        """
+        self.register_actor(actor, role)
+        self.record_offer_event(actor, offer, state, now)
+
     def subscribe(self, callback) -> None:
         """Register ``callback(offer_id, state, now)`` for lifecycle events.
 

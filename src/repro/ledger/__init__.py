@@ -1,0 +1,35 @@
+"""Durable event-sourced ledger for the LEDMS (paper §3, Data Management).
+
+The live pool is a projection; the append-only log is the truth.  See
+:mod:`repro.ledger.ledger` for the fact vocabulary, :mod:`repro.ledger.log`
+for the segmented-JSONL durable backend, and :mod:`repro.ledger.replay`
+for the two recovery modes (deterministic re-execution and projection).
+"""
+
+from .codec import default_source_event_id, offer_from_dict, offer_to_dict
+from .ledger import (
+    FACT_KINDS,
+    INPUT_KINDS,
+    DeadLetter,
+    OfferLedger,
+    RecordedResult,
+)
+from .log import FSYNC_MODES, JsonlEventLog, MemoryEventLog
+from .replay import ReplayStats, project, reexecute
+
+__all__ = [
+    "FACT_KINDS",
+    "FSYNC_MODES",
+    "INPUT_KINDS",
+    "DeadLetter",
+    "JsonlEventLog",
+    "MemoryEventLog",
+    "OfferLedger",
+    "RecordedResult",
+    "ReplayStats",
+    "default_source_event_id",
+    "offer_from_dict",
+    "offer_to_dict",
+    "project",
+    "reexecute",
+]

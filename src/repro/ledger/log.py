@@ -1,0 +1,210 @@
+"""Append-only event logs: in-memory and segmented-JSONL durable backends.
+
+The durable backend writes one JSON object per line into numbered segment
+files (``segment-00000000.jsonl``, …) and rolls to a fresh segment every
+``segment_max_events`` records, so a long-running node never rewrites old
+history and archival/truncation can operate on whole segments.  The
+``fsync`` policy trades durability for throughput:
+
+``"commit"``
+    fsync after every append — a crash loses at most the final,
+    partially-written line (which :meth:`JsonlEventLog.replay` tolerates).
+``"close"``
+    flush to the OS on every append, fsync only on close/roll.
+``"never"``
+    leave flushing to the runtime/OS entirely (tests, benchmarks).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from ..core.errors import DataManagementError
+
+__all__ = ["MemoryEventLog", "JsonlEventLog", "FSYNC_MODES"]
+
+FSYNC_MODES = ("commit", "close", "never")
+
+SEGMENT_PREFIX = "segment-"
+SEGMENT_SUFFIX = ".jsonl"
+
+
+class MemoryEventLog:
+    """A list-backed event log: the non-durable default for tests/benches."""
+
+    def __init__(self) -> None:
+        self._events: list[dict] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def append(self, event: dict) -> None:
+        self._events.append(event)
+
+    def replay(self) -> Iterator[dict]:
+        """Every event appended so far, in order."""
+        return iter(list(self._events))
+
+    def flush(self) -> None:  # pragma: no cover - interface symmetry
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlEventLog:
+    """Durable append-only log over segmented JSONL files in a directory."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        fsync: str = "commit",
+        segment_max_events: int = 100_000,
+    ) -> None:
+        if fsync not in FSYNC_MODES:
+            raise DataManagementError(
+                f"unknown fsync mode {fsync!r} (known: {', '.join(FSYNC_MODES)})"
+            )
+        if segment_max_events <= 0:
+            raise DataManagementError(
+                f"segment_max_events must be positive, got {segment_max_events}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.segment_max_events = int(segment_max_events)
+        self._handle = None
+        self._segment_index = 0
+        self._segment_events = 0
+        self._count = 0
+        self._scan_existing()
+
+    # ------------------------------------------------------------------
+    def _segment_path(self, index: int) -> Path:
+        return self.directory / f"{SEGMENT_PREFIX}{index:08d}{SEGMENT_SUFFIX}"
+
+    def segments(self) -> list[Path]:
+        """Existing segment files, oldest first."""
+        return sorted(
+            path
+            for path in self.directory.glob(
+                f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}"
+            )
+        )
+
+    def _scan_existing(self) -> None:
+        """Resume appending after the last intact record on disk."""
+        segments = self.segments()
+        if not segments:
+            return
+        for path in segments[:-1]:
+            self._count += sum(1 for _ in _intact_lines(path))
+        last = segments[-1]
+        tail_events = sum(1 for _ in _intact_lines(last))
+        self._count += tail_events
+        self._segment_index = int(
+            last.name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)]
+        )
+        self._segment_events = tail_events
+        # A torn final line (crash mid-append) would corrupt the next
+        # record if we appended after it; truncate back to the last intact
+        # record before reopening for append.
+        raw = last.read_bytes()
+        intact = raw[: _intact_prefix_length(raw)]
+        if len(intact) != len(raw):
+            last.write_bytes(intact)
+
+    def _open_for_append(self):
+        if self._handle is None:
+            self._handle = open(
+                self._segment_path(self._segment_index),
+                "a",
+                encoding="utf-8",
+            )
+        return self._handle
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, event: dict) -> None:
+        if self._segment_events >= self.segment_max_events:
+            self._roll()
+        handle = self._open_for_append()
+        handle.write(json.dumps(event, sort_keys=True) + "\n")
+        if self.fsync == "commit":
+            handle.flush()
+            os.fsync(handle.fileno())
+        elif self.fsync == "close":
+            handle.flush()
+        self._segment_events += 1
+        self._count += 1
+
+    def _roll(self) -> None:
+        self._close_handle()
+        self._segment_index += 1
+        self._segment_events = 0
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync != "never":
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        self._close_handle()
+
+    def __enter__(self) -> "JsonlEventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def replay(self) -> Iterator[dict]:
+        """Every intact event on disk, oldest segment first.
+
+        A truncated final line — the signature of a crash mid-append — is
+        skipped silently: by construction it is the only record that can
+        be torn, and it was never acknowledged as committed.
+        """
+        self.flush()
+        for path in self.segments():
+            yield from _intact_lines(path)
+
+
+def _intact_prefix_length(raw: bytes) -> int:
+    """Byte length of the newline-terminated prefix of ``raw``."""
+    end = raw.rfind(b"\n")
+    return end + 1 if end >= 0 else 0
+
+
+def _intact_lines(path: Path) -> Iterator[dict]:
+    """Parsed records of ``path``; a torn, unterminated tail is ignored."""
+    raw = path.read_bytes()
+    intact = raw[: _intact_prefix_length(raw)]
+    for lineno, line in enumerate(intact.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise DataManagementError(
+                f"{path}:{lineno}: corrupt ledger record mid-segment ({exc})"
+            ) from exc
+        if not isinstance(record, dict):
+            raise DataManagementError(
+                f"{path}:{lineno}: ledger record is not a JSON object"
+            )
+        yield record

@@ -22,7 +22,16 @@ __all__ = [
 ]
 
 #: The event vocabulary.
-EVENT_KINDS = ("span", "offer", "bus", "trigger")
+EVENT_KINDS = (
+    "span",
+    "offer",
+    "bus",
+    "trigger",
+    "ledger_append",
+    "ledger_replay",
+    "dlq_routed",
+    "bus_retry",
+)
 
 #: Offer-lifecycle states that end a trace (``live_at_shutdown`` marks
 #: offers still live when the run finished — expected, not an error).
@@ -78,6 +87,41 @@ EVENT_SCHEMA: dict[str, dict[str, str]] = {
         "sim": "sim time (slices)",
         "wall": "wall time (perf_counter seconds)",
         "detail": "trigger-specific payload",
+    },
+    "ledger_append": {
+        "node": "emitting node",
+        "fact": "ledger fact kind (submit, replace, scheduled, ...)",
+        "offer_id": "the flex-offer id the fact concerns",
+        "sim": "sim time (slices)",
+        "wall": "wall time (perf_counter seconds)",
+        "detail": "fact-specific payload (source_event_id, start, ...)",
+    },
+    "ledger_replay": {
+        "node": "emitting node",
+        "offer_id": "the flex-offer id restored by replay",
+        "state": "replay annotation (live_restored, ...)",
+        "sim": "sim time (slices)",
+        "wall": "wall time (perf_counter seconds)",
+        "detail": "replay-specific payload (mode, ...)",
+    },
+    "dlq_routed": {
+        "node": "emitting node",
+        "offer_id": "the rejected/malformed submission's offer id",
+        "reason": "why the submission was dead-lettered",
+        "sim": "sim time (slices)",
+        "wall": "wall time (perf_counter seconds)",
+        "detail": "submission-specific payload",
+    },
+    "bus_retry": {
+        "node": "observing node",
+        "type": "message type value",
+        "sender": "sending node",
+        "recipient": "receiving node",
+        "message_id": "bus message id",
+        "attempt": "retry attempt number (1-based)",
+        "sim": "sim time (slices)",
+        "wall": "wall time (perf_counter seconds)",
+        "detail": "retry-specific payload (outcome, backoff, ...)",
     },
 }
 

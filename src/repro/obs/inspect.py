@@ -52,7 +52,10 @@ def offer_chain(events: Iterable[dict], offer_id: int) -> list[dict]:
 
     The chain covers the offer's own lifecycle events, the lifecycle of
     every macro it was aggregated into (TSO receipt, system-wide schedule,
-    commit), and the bus messages that carried those macros between tiers.
+    commit), the bus messages that carried those macros between tiers, and
+    the offer's durability record: ledger facts journaled for it, replay
+    restorations, and dead-letter routing — so the chain survives a
+    crash/restart of the node that recorded it.
     """
     events = list(events)
     macros = _macros_of(events, offer_id)
@@ -61,6 +64,9 @@ def offer_chain(events: Iterable[dict], offer_id: int) -> list[dict]:
         kind = event.get("event")
         if kind == "offer":
             if event.get("offer_id") == offer_id or event.get("offer_id") in macros:
+                chain.append(event)
+        elif kind in ("ledger_append", "ledger_replay", "dlq_routed"):
+            if event.get("offer_id") == offer_id:
                 chain.append(event)
         elif kind == "bus":
             detail = event.get("detail") or {}
@@ -72,20 +78,28 @@ def offer_chain(events: Iterable[dict], offer_id: int) -> list[dict]:
     return sorted(chain, key=lambda e: e.get("seq", 0))
 
 
+def _detail_text(event: dict) -> str:
+    detail = event.get("detail") or {}
+    if not detail:
+        return ""
+    return " (" + ", ".join(f"{k}={v}" for k, v in sorted(detail.items())) + ")"
+
+
 def _describe(event: dict, offer_id: int) -> str:
     if event["event"] == "offer":
         oid = event["offer_id"]
         subject = f"offer {oid}" if oid == offer_id else f"macro {oid}"
-        detail = event.get("detail") or {}
-        extra = ""
-        if detail:
-            extra = " (" + ", ".join(
-                f"{k}={v}" for k, v in sorted(detail.items())
-            ) + ")"
+        extra = _detail_text(event)
         span = event.get("span")
         if span is not None:
             extra += f" [span {span}]"
         return f"{subject} {event['state']}{extra}"
+    if event["event"] == "ledger_append":
+        return f"ledger fact {event.get('fact')}{_detail_text(event)}"
+    if event["event"] == "ledger_replay":
+        return f"replay {event.get('state')}{_detail_text(event)}"
+    if event["event"] == "dlq_routed":
+        return f"dead-lettered: {event.get('reason')}{_detail_text(event)}"
     # bus event
     detail = event.get("detail") or {}
     carried = detail.get("macro_ids") or (
@@ -124,6 +138,7 @@ def render_breakdown(events: Iterable[dict]) -> str:
         lambda: [0, 0.0, 0.0]  # runs, wall seconds, sim slices
     )
     bus: dict[tuple[str, str], int] = defaultdict(int)
+    durability: dict[str, int] = defaultdict(int)
     offers = 0
     for event in events:
         kind = event.get("event")
@@ -136,6 +151,8 @@ def render_breakdown(events: Iterable[dict]) -> str:
             )
         elif kind == "bus":
             bus[(event.get("action", ""), event.get("type", ""))] += 1
+        elif kind in ("ledger_append", "ledger_replay", "dlq_routed", "bus_retry"):
+            durability[kind] += 1
         elif kind == "offer":
             offers += 1
     lines = [f"trace: {len(events)} events ({offers} offer events)"]
@@ -156,4 +173,10 @@ def render_breakdown(events: Iterable[dict]) -> str:
         lines.append(f"  {'bus action':<12} {'message type':<28} {'count':>6}")
         for (action, type_), count in sorted(bus.items()):
             lines.append(f"  {action:<12} {type_:<28} {count:>6d}")
+    if durability:
+        lines.append("")
+        lines.append(
+            "  durability: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(durability.items()))
+        )
     return "\n".join(lines)

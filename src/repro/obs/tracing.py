@@ -318,6 +318,105 @@ class Tracer:
             }
         )
 
+    def ledger_event(
+        self,
+        fact: str,
+        offer_id: int,
+        *,
+        node: str = "",
+        detail: Mapping[str, Any] | None = None,
+        force: bool = False,
+    ) -> None:
+        """Record one durable-ledger append (subject to offer sampling)."""
+        if not force and not self.sampled(offer_id):
+            return
+        self._emit(
+            {
+                "event": "ledger_append",
+                "node": node,
+                "fact": fact,
+                "offer_id": int(offer_id),
+                "sim": self.sim_now(),
+                "wall": self.wall_now(),
+                "detail": dict(detail) if detail else {},
+            }
+        )
+
+    def replay_event(
+        self,
+        offer_id: int,
+        state: str,
+        *,
+        node: str = "",
+        detail: Mapping[str, Any] | None = None,
+        force: bool = False,
+    ) -> None:
+        """Record one offer restored by log replay (crash/restart boundary)."""
+        if not force and not self.sampled(offer_id):
+            return
+        self._emit(
+            {
+                "event": "ledger_replay",
+                "node": node,
+                "offer_id": int(offer_id),
+                "state": state,
+                "sim": self.sim_now(),
+                "wall": self.wall_now(),
+                "detail": dict(detail) if detail else {},
+            }
+        )
+
+    def dlq_event(
+        self,
+        offer_id: int,
+        reason: str,
+        *,
+        node: str = "",
+        detail: Mapping[str, Any] | None = None,
+        force: bool = False,
+    ) -> None:
+        """Record one submission routed to the dead-letter queue."""
+        if not force and not self.sampled(offer_id):
+            return
+        self._emit(
+            {
+                "event": "dlq_routed",
+                "node": node,
+                "offer_id": int(offer_id),
+                "reason": reason,
+                "sim": self.sim_now(),
+                "wall": self.wall_now(),
+                "detail": dict(detail) if detail else {},
+            }
+        )
+
+    def bus_retry_event(
+        self,
+        *,
+        node: str = "",
+        type: str = "",
+        sender: str = "",
+        recipient: str = "",
+        message_id: int | None = None,
+        attempt: int = 1,
+        detail: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Record one bounded-retry attempt for an undeliverable message."""
+        self._emit(
+            {
+                "event": "bus_retry",
+                "node": node,
+                "type": type,
+                "sender": sender,
+                "recipient": recipient,
+                "message_id": message_id,
+                "attempt": int(attempt),
+                "sim": self.sim_now(),
+                "wall": self.wall_now(),
+                "detail": dict(detail) if detail else {},
+            }
+        )
+
     # -- retention ------------------------------------------------------
     def _emit(self, record: dict) -> None:
         record["seq"] = self._seq
@@ -394,6 +493,18 @@ class NullTracer:
         pass
 
     def trigger_event(self, **kwargs) -> None:
+        pass
+
+    def ledger_event(self, fact, offer_id, **kwargs) -> None:
+        pass
+
+    def replay_event(self, offer_id, state, **kwargs) -> None:
+        pass
+
+    def dlq_event(self, offer_id, reason, **kwargs) -> None:
+        pass
+
+    def bus_retry_event(self, **kwargs) -> None:
         pass
 
     @property

@@ -26,6 +26,7 @@ Most callers should go through the typed facade in :mod:`repro.api`
 from .clock import ClockError, EventQueue, SimulatedClock
 from .cluster import (
     BusAdapter,
+    BusConfig,
     ClusterConfig,
     ClusterReport,
     ClusterRuntime,
@@ -42,6 +43,18 @@ from .config import (
     ServiceConfig,
 )
 from .drivers import SimulatedDriver, TimeDriver, WallClockDriver
+from .faults import (
+    CrashKill,
+    OutageSpec,
+    apply_outages,
+    continue_stream,
+    duplicate_stream,
+    parse_outage,
+    remaining_arrivals,
+    reorder_stream,
+    run_stream_with_crash,
+    state_fingerprint,
+)
 from .ingest import FlexOfferIngest
 from .loadgen import LoadGenerator
 from .metrics import (
@@ -68,12 +81,14 @@ __all__ = [
     "AnyTrigger",
     "BrpRuntimeService",
     "BusAdapter",
+    "BusConfig",
     "ClockError",
     "ClusterConfig",
     "ClusterReport",
     "ClusterRuntime",
     "CountTrigger",
     "Counter",
+    "CrashKill",
     "EventQueue",
     "FlexOfferIngest",
     "Gauge",
@@ -84,6 +99,7 @@ __all__ = [
     "MarketConfig",
     "MetricsRegistry",
     "ObsConfig",
+    "OutageSpec",
     "RuntimeConfig",
     "RuntimeReport",
     "SchedulingConfig",
@@ -98,4 +114,12 @@ __all__ = [
     "TsoRuntimeService",
     "WallClockDriver",
     "aggregate_registries",
+    "apply_outages",
+    "continue_stream",
+    "duplicate_stream",
+    "parse_outage",
+    "remaining_arrivals",
+    "reorder_stream",
+    "run_stream_with_crash",
+    "state_fingerprint",
 ]

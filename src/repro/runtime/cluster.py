@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
@@ -69,12 +70,65 @@ from .service import (
 
 __all__ = [
     "BusAdapter",
+    "BusConfig",
     "ClusterConfig",
     "ClusterReport",
     "ClusterRuntime",
     "TsoConfig",
     "TsoRuntimeService",
 ]
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BusConfig:
+    """Delivery-resilience knobs for the cluster's :class:`BusAdapter`.
+
+    With ``max_retries=0`` (the default) a message to an unreachable node
+    drops immediately — the original best-effort mode, where every failed
+    send is a traced drop.  With ``max_retries>0`` the adapter retries
+    with exponential backoff and parks exhausted messages per recipient,
+    replaying them when the node returns
+    (:meth:`BusAdapter.set_unreachable` with ``unreachable=False``), so a
+    BRP returning from an outage reconciles the TSO schedules it missed.
+    Enable it from a cluster-config ``bus`` section, e.g.
+    ``{"bus": {"max_retries": 3}}``.
+    """
+
+    max_retries: int = 0
+    """Redelivery attempts after the first failure (0 disables retry)."""
+    retry_backoff_slices: float = 1.0
+    """Delay before the first retry, in driver slices."""
+    backoff_factor: float = 2.0
+    """Multiplier applied to the backoff after each failed attempt."""
+    park_limit: int = 256
+    """Per-recipient cap on exhausted messages parked for recovery replay."""
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ServiceError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.retry_backoff_slices <= 0:
+            raise ServiceError(
+                "retry_backoff_slices must be positive, got "
+                f"{self.retry_backoff_slices}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ServiceError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.park_limit < 0:
+            raise ServiceError(
+                f"park_limit must be non-negative, got {self.park_limit}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BusConfig":
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ServiceError(f"invalid bus config: {exc}") from exc
 
 
 # ----------------------------------------------------------------------
@@ -101,16 +155,29 @@ class BusAdapter:
         *,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | NullTracer | None = None,
+        bus_config: BusConfig | None = None,
     ):
         self.bus = bus
         self.driver = driver
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
+        #: Drop-immediately by default; pass a :class:`BusConfig` with
+        #: ``max_retries>0`` to enable retry-with-backoff + park/replay.
+        self.bus_config = bus_config if bus_config is not None else BusConfig()
         self._pump_armed = False
-        # message_id -> (wall send time, message-type label) for everything
-        # queued but not yet delivered; resolved to a delivery-latency
-        # observation on delivery or a drop count at dispatch.
-        self._sent_at: dict[int, tuple[float, str]] = {}
+        # message_id -> (wall send time, message-type label, message) for
+        # everything queued but not yet delivered; resolved to a
+        # delivery-latency observation on delivery, or re-routed through
+        # the retry path when dropped at dispatch.
+        self._sent_at: dict[int, tuple[float, str, Message]] = {}
+        # recipient -> exhausted messages awaiting recovery replay.
+        self._parked: dict[str, deque[Message]] = {}
+        self.retries = 0
+        """All-time redelivery attempts scheduled."""
+        self.replayed = 0
+        """All-time parked messages replayed after a node recovered."""
+        self.pending_retries = 0
+        """Retries scheduled but not yet attempted."""
 
     def register(self, name: str, handler: Callable[[Message], None]) -> None:
         """Attach a node's handler under its unique bus name.
@@ -147,8 +214,36 @@ class BusAdapter:
         self.bus.register(name, deliver)
 
     def set_unreachable(self, name: str, unreachable: bool = True) -> None:
-        """Simulate a node outage (messages to it count as dropped)."""
+        """Simulate a node outage (messages to it count as dropped).
+
+        Recovery (``unreachable=False``) replays every message parked for
+        the node while it was down, so it reconciles what it missed.
+        """
         self.bus.set_unreachable(name, unreachable)
+        if not unreachable:
+            parked = self._parked.pop(name, None)
+            if not parked:
+                return
+            for message in parked:
+                self.replayed += 1
+                self.metrics.counter(
+                    "bus.replayed", labels={"type": message.type.value}
+                ).inc()
+                if self.tracer.enabled:
+                    self.tracer.bus_retry_event(
+                        node=name,
+                        type=message.type.value,
+                        sender=message.sender,
+                        recipient=message.recipient,
+                        message_id=message.message_id,
+                        detail={"outcome": "replayed_after_recovery"},
+                    )
+                self._dispatch(message, attempt=1)
+
+    @property
+    def parked(self) -> int:
+        """Exhausted messages currently parked awaiting recovery."""
+        return sum(len(q) for q in self._parked.values())
 
     def send(
         self,
@@ -171,44 +266,104 @@ class BusAdapter:
         message = Message(
             sender, recipient, type_, payload, int(now), trace=context
         )
+        return self._dispatch(message, attempt=1, detail=detail)
+
+    def _dispatch(
+        self,
+        message: Message,
+        *,
+        attempt: int,
+        detail: Mapping[str, Any] | None = None,
+    ) -> bool:
+        """One queueing attempt; failures go through the retry path."""
         sent = self.bus.try_send(message)
-        type_name = type_.value
+        type_name = message.type.value
         if sent:
             self.metrics.counter("bus.sent", labels={"type": type_name}).inc()
-            self._sent_at[message.message_id] = (time.perf_counter(), type_name)
-            if tracer.enabled:
-                tracer.bus_event(
+            self._sent_at[message.message_id] = (
+                time.perf_counter(), type_name, message,
+            )
+            if self.tracer.enabled:
+                self.tracer.bus_event(
                     "publish",
-                    node=sender,
+                    node=message.sender,
                     type=type_name,
-                    sender=sender,
-                    recipient=recipient,
+                    sender=message.sender,
+                    recipient=message.recipient,
                     message_id=message.message_id,
-                    ctx=context,
+                    ctx=message.trace,
                     detail=detail,
                 )
             if not self._pump_armed:
                 self._pump_armed = True
                 self.driver.post(self._pump)
         else:
-            self.metrics.counter(
-                "bus.dropped", labels={"type": type_name}
-            ).inc()
-            if tracer.enabled:
-                drop_detail = {"reason": "unreachable"}
-                if detail:
-                    drop_detail.update(detail)
-                tracer.bus_event(
-                    "drop",
-                    node=sender,
-                    type=type_name,
-                    sender=sender,
-                    recipient=recipient,
-                    message_id=message.message_id,
-                    ctx=context,
-                    detail=drop_detail,
-                )
+            self._handle_failure(message, attempt=attempt, detail=detail)
         return sent
+
+    def _handle_failure(
+        self,
+        message: Message,
+        *,
+        attempt: int,
+        detail: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Retry with exponential backoff; exhausted messages drop + park."""
+        config = self.bus_config
+        type_name = message.type.value
+        if attempt <= config.max_retries:
+            backoff = config.retry_backoff_slices * (
+                config.backoff_factor ** (attempt - 1)
+            )
+            self.retries += 1
+            self.pending_retries += 1
+            self.metrics.counter(
+                "bus.retries", labels={"type": type_name}
+            ).inc()
+            if self.tracer.enabled:
+                self.tracer.bus_retry_event(
+                    node=message.sender,
+                    type=type_name,
+                    sender=message.sender,
+                    recipient=message.recipient,
+                    message_id=message.message_id,
+                    attempt=attempt,
+                    detail={"backoff_slices": backoff},
+                )
+
+            def retry(message=message, attempt=attempt, detail=detail) -> None:
+                self.pending_retries -= 1
+                self._dispatch(message, attempt=attempt + 1, detail=detail)
+
+            self.driver.schedule_at(self.driver.now + backoff, retry)
+            return
+        self.metrics.counter("bus.dropped", labels={"type": type_name}).inc()
+        if self.tracer.enabled:
+            drop_detail = {
+                "reason": (
+                    "retries_exhausted" if config.max_retries else "unreachable"
+                )
+            }
+            if detail:
+                drop_detail.update(detail)
+            self.tracer.bus_event(
+                "drop",
+                node=message.sender,
+                type=type_name,
+                sender=message.sender,
+                recipient=message.recipient,
+                message_id=message.message_id,
+                ctx=message.trace,
+                detail=drop_detail,
+            )
+        if config.max_retries and config.park_limit:
+            # The recipient may come back: park the exhausted message so
+            # recovery can replay it instead of losing it outright.
+            queue = self._parked.get(message.recipient)
+            if queue is None:
+                queue = deque(maxlen=config.park_limit)
+                self._parked[message.recipient] = queue
+            queue.append(message)
 
     def _pump(self) -> None:
         self._pump_armed = False
@@ -216,21 +371,12 @@ class BusAdapter:
         if self._sent_at:
             # dispatch_all drains the whole queue, so anything still
             # outstanding was dropped at dispatch time (its recipient
-            # turned unreachable after queueing).
-            for message_id in sorted(self._sent_at):
-                type_name = self._sent_at[message_id][1]
-                self.metrics.counter(
-                    "bus.dropped", labels={"type": type_name}
-                ).inc()
-                if self.tracer.enabled:
-                    self.tracer.bus_event(
-                        "drop",
-                        node="bus",
-                        type=type_name,
-                        message_id=message_id,
-                        detail={"reason": "unreachable_at_dispatch"},
-                    )
+            # turned unreachable after queueing); route it through the
+            # retry path like a failed send.
+            leftovers = [self._sent_at[mid] for mid in sorted(self._sent_at)]
             self._sent_at.clear()
+            for _, _, message in leftovers:
+                self._handle_failure(message, attempt=1)
 
     @property
     def delivered(self) -> int:
@@ -305,6 +451,7 @@ class ClusterConfig:
     brps: Mapping[str, ServiceConfig]
     tso: TsoConfig = field(default_factory=TsoConfig)
     tso_name: str = "tso"
+    bus: BusConfig = field(default_factory=BusConfig)
 
     def __post_init__(self) -> None:
         if not self.brps:
@@ -322,6 +469,7 @@ class ClusterConfig:
         config: ServiceConfig | None = None,
         *,
         tso: TsoConfig | None = None,
+        bus: BusConfig | None = None,
     ) -> "ClusterConfig":
         """``count`` identically configured BRPs named ``brp-0`` … ``brp-K``."""
         if count <= 0:
@@ -330,6 +478,7 @@ class ClusterConfig:
         return cls(
             brps={f"brp-{i}": config for i in range(count)},
             tso=tso if tso is not None else TsoConfig(),
+            bus=bus if bus is not None else BusConfig(),
         )
 
     @classmethod
@@ -355,7 +504,7 @@ class ClusterConfig:
         underlies everything: fields neither a BRP section nor ``defaults``
         mentions keep its values.
         """
-        known = {"brps", "defaults", "tso", "tso_name"}
+        known = {"brps", "defaults", "tso", "tso_name", "bus"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ServiceError(
@@ -399,10 +548,14 @@ class ClusterConfig:
         tso_spec = data.get("tso", {})
         if not isinstance(tso_spec, Mapping):
             raise ServiceError("cluster config 'tso' must be a mapping")
+        bus_spec = data.get("bus", {})
+        if not isinstance(bus_spec, Mapping):
+            raise ServiceError("cluster config 'bus' must be a mapping")
         return cls(
             brps=brps,
             tso=TsoConfig.from_dict(tso_spec),
             tso_name=data.get("tso_name", "tso"),
+            bus=BusConfig.from_dict(bus_spec),
         )
 
 
@@ -655,6 +808,12 @@ class ClusterReport:
     bus_dropped: int
     latency_slices_p50: float = 0.0
     latency_slices_p95: float = 0.0
+    bus_retries: int = 0
+    """Redelivery attempts scheduled by the adapter's retry policy."""
+    bus_replayed: int = 0
+    """Parked messages replayed to nodes that recovered from an outage."""
+    bus_parked: int = 0
+    """Exhausted messages still parked (recipient down at run end)."""
 
     def _sum(self, attribute: str) -> int:
         return sum(getattr(r, attribute) for r in self.brp_reports.values())
@@ -717,6 +876,11 @@ class ClusterReport:
             f"bus traffic           {self.bus_delivered} delivered / "
             f"{self.bus_dropped} dropped",
         ]
+        if self.bus_retries or self.bus_replayed or self.bus_parked:
+            lines.append(
+                f"bus resilience        {self.bus_retries} retries / "
+                f"{self.bus_replayed} replayed / {self.bus_parked} parked"
+            )
         width = max(len(name) for name in self.brp_reports)
         for name in sorted(self.brp_reports):
             report = self.brp_reports[name]
@@ -741,6 +905,7 @@ class ClusterRuntime:
         bus: MessageBus | None = None,
         tso_net_forecast: TimeSeries | None = None,
         tracer: Tracer | NullTracer | None = None,
+        ledger_factory: Callable[[str], Any] | None = None,
     ):
         # Imported lazily: the api facade sits above the runtime package.
         from ..api.client import LedmsClient
@@ -755,7 +920,12 @@ class ClusterRuntime:
         # deterministic sequence.
         self.tracer = tracer if tracer is not None else NullTracer()
         self.tracer.bind_clock(sim_clock(self.driver))
-        self.adapter = BusAdapter(self.bus, self.driver, tracer=self.tracer)
+        self.adapter = BusAdapter(
+            self.bus,
+            self.driver,
+            tracer=self.tracer,
+            bus_config=self.config.bus,
+        )
         self.tso = TsoRuntimeService(
             self.config.tso,
             adapter=self.adapter,
@@ -765,11 +935,14 @@ class ClusterRuntime:
         )
         self.clients: dict[str, LedmsClient] = {}
         for name, service_config in self.config.brps.items():
+            # ledger_factory(name) gives each BRP its own durable event
+            # ledger (e.g. one JSONL directory per node).
             client = LedmsClient(
                 service_config,
                 driver=self.driver,
                 name=name,
                 tracer=self.tracer,
+                ledger=ledger_factory(name) if ledger_factory else None,
             )
             self.clients[name] = client
             self._wire_brp(name, client)
@@ -957,4 +1130,7 @@ class ClusterRuntime:
             bus_dropped=self.adapter.dropped,
             latency_slices_p50=latency.p50,
             latency_slices_p95=latency.p95,
+            bus_retries=self.adapter.retries,
+            bus_replayed=self.adapter.replayed,
+            bus_parked=self.adapter.parked,
         )

@@ -99,3 +99,32 @@ class LoadGenerator:
     def offers(self, start: float, duration_slices: float) -> list[FlexOffer]:
         """Just the offers of :meth:`stream` (batch-compat convenience)."""
         return [offer for _, offer in self.stream(start, duration_slices)]
+
+    def hostile_stream(
+        self,
+        start: float,
+        duration_slices: float,
+        *,
+        duplicate_rate: float = 0.0,
+        reorder_window: float = 0.0,
+        seed: int = 0,
+    ) -> Iterator[tuple[float, FlexOffer]]:
+        """:meth:`stream` degraded by fault-injection transforms.
+
+        ``duplicate_rate`` re-emits that fraction of arrivals again later
+        (at-least-once delivery); ``reorder_window`` shuffles offers within
+        windows that wide (out-of-order, possibly back-dated submissions).
+        Both default to off, in which case this is exactly :meth:`stream`.
+        """
+        from .faults import duplicate_stream, reorder_stream
+
+        arrivals: Iterator[tuple[float, FlexOffer]] = self.stream(
+            start, duration_slices
+        )
+        if reorder_window:
+            arrivals = reorder_stream(arrivals, reorder_window, seed=seed)
+        if duplicate_rate:
+            arrivals = duplicate_stream(
+                arrivals, duplicate_rate, seed=seed + 1
+            )
+        return arrivals

@@ -31,7 +31,7 @@ import math
 import time
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Iterable
+from typing import Callable, Iterable, NamedTuple
 
 import numpy as np
 
@@ -42,6 +42,8 @@ from ..core.errors import ServiceError
 from ..core.flexoffer import FlexOffer
 from ..core.timeseries import TimeSeries
 from ..datamgmt.mirabel import LedmsStore
+from ..ledger.codec import default_source_event_id
+from ..ledger.ledger import OfferLedger
 from ..obs.tracing import NullTracer, Tracer
 from ..api.registry import KIND_SCHEDULER, default_registry
 from ..scheduling import (
@@ -57,7 +59,27 @@ from .metrics import Histogram, MetricsRegistry
 from .sharding import ShardedFlexOfferIngest
 from .triggers import AnyTrigger, TriggerContext
 
-__all__ = ["RuntimeConfig", "RuntimeReport", "BrpRuntimeService"]
+__all__ = [
+    "RuntimeConfig",
+    "RuntimeReport",
+    "BrpRuntimeService",
+    "SubmitOutcome",
+]
+
+
+class SubmitOutcome(NamedTuple):
+    """The full result of one submission through the ledger-aware path.
+
+    ``duplicate`` marks a submission deflected by the idempotency guard:
+    the other fields then carry the *originally recorded* outcome, not a
+    re-derived one.
+    """
+
+    offer: FlexOffer | None
+    offer_id: int
+    accepted: bool
+    reason: str | None
+    duplicate: bool = False
 
 
 @lru_cache(maxsize=8)
@@ -199,6 +221,7 @@ class BrpRuntimeService:
         driver: TimeDriver | None = None,
         name: str = "brp",
         tracer: Tracer | NullTracer | None = None,
+        ledger: OfferLedger | None = None,
     ):
         self.config = config if config is not None else ServiceConfig()
         self.store = (
@@ -218,6 +241,12 @@ class BrpRuntimeService:
         self.tracer = (
             tracer if tracer is not None else self.config.obs.build_tracer()
         )
+        #: Optional durable event ledger: every state-changing ingest path
+        #: journals an immutable fact through it, the idempotency guard
+        #: deflects duplicate submissions, and recovery replays the log.
+        self.ledger = ledger
+        if ledger is not None:
+            ledger.node = name
         self.tracer.bind_clock(sim_clock(self.driver))
         if self.tracer.enabled:
             self.store.subscribe(self._trace_store_event)
@@ -362,28 +391,91 @@ class BrpRuntimeService:
     # ------------------------------------------------------------------
     # ingest
     # ------------------------------------------------------------------
-    def submit(self, offer: FlexOffer) -> FlexOffer | None:
+    def submit(self, offer: FlexOffer, source_event_id: str | None = None) -> FlexOffer | None:
         """Admit one offer at the current time.
 
         Returns the accepted (possibly window-clipped) offer — truthy, so
-        boolean call sites keep working — or ``None`` on rejection.
+        boolean call sites keep working — or ``None`` on rejection.  With
+        a ledger attached, the submission is journaled as an immutable
+        fact and duplicates (same ``source_event_id``, content-derived by
+        default) are deflected to the originally recorded result.
         """
+        return self.submit_fact(offer, source_event_id).offer
+
+    def submit_fact(
+        self, offer: FlexOffer, source_event_id: str | None = None
+    ) -> SubmitOutcome:
+        """:meth:`submit` with the full recorded outcome (facade/ledger path)."""
+        led = self.ledger
+        recording = led is not None and led.recording_inputs
+        if recording:
+            sid = (
+                source_event_id
+                if source_event_id is not None
+                else default_source_event_id(offer)
+            )
+            prior = led.recorded_result(sid)
+            if prior is not None:
+                # Idempotent re-submission: return what was originally
+                # recorded; nothing is double-counted, nothing re-enters
+                # the pipeline.
+                led.note_duplicate(sid, offer_id=prior.offer_id, at=self.now)
+                self.metrics.counter("ledger.duplicates").inc()
+                if self.tracer.enabled:
+                    self.tracer.ledger_event(
+                        "duplicate",
+                        prior.offer_id,
+                        node=self.name,
+                        detail={"source_event_id": sid},
+                    )
+                live = self._live.get(prior.offer_id) if prior.accepted else None
+                return SubmitOutcome(
+                    live, prior.offer_id, prior.accepted, prior.reason, True
+                )
+        else:
+            sid = source_event_id
         self.metrics.counter("runtime.offers_submitted").inc()
         accepted = self.ingest.submit(offer, self._now_slice)
+        reason: str | None = None
+        if accepted is not None:
+            oid = accepted.offer_id
+            self._live[oid] = accepted
+            self._arrival_sim[oid] = self.now
+            self._arrival_wall[oid] = time.perf_counter()
+            self._offers_since_run += 1
+            self._unscheduled_energy += self._offer_energy(accepted)
+            heapq.heappush(self._pending_heap, (self.now, oid))
+            self.metrics.gauge("runtime.live_offers").set(len(self._live))
+        elif recording:
+            reason = self.ingest.reject_reason(offer, self._now_slice) or "rejected"
+        if recording:
+            # Journal before the aggregation/trigger cascade below, so the
+            # submit fact precedes any derived facts it causes.
+            led.record_submit(
+                offer,
+                at=self.now,
+                source_event_id=sid,
+                accepted=accepted is not None,
+                reason=reason,
+                accepted_offer=accepted,
+            )
+            if accepted is None:
+                self.metrics.counter("ledger.dead_letters").inc()
+            if self.tracer.enabled:
+                self.tracer.ledger_event(
+                    "submit",
+                    offer.offer_id,
+                    node=self.name,
+                    detail={"accepted": accepted is not None},
+                )
+                if accepted is None:
+                    self.tracer.dlq_event(offer.offer_id, reason, node=self.name)
         if accepted is None:
-            return None
-        oid = accepted.offer_id
-        self._live[oid] = accepted
-        self._arrival_sim[oid] = self.now
-        self._arrival_wall[oid] = time.perf_counter()
-        self._offers_since_run += 1
-        self._unscheduled_energy += self._offer_energy(accepted)
-        heapq.heappush(self._pending_heap, (self.now, oid))
-        self.metrics.gauge("runtime.live_offers").set(len(self._live))
+            return SubmitOutcome(None, offer.offer_id, False, reason, False)
         if self.ingest.batch_full:
             self.run_aggregation()
         self.maybe_schedule()
-        return accepted
+        return SubmitOutcome(accepted, accepted.offer_id, True, None, False)
 
     def withdraw(self, offer_id: int) -> FlexOffer | None:
         """Retract a live offer before execution; returns it, or ``None``.
@@ -395,6 +487,11 @@ class BrpRuntimeService:
         offer = self._live.pop(offer_id, None)
         if offer is None:
             return None
+        led = self.ledger
+        if led is not None and led.recording_inputs:
+            led.record_withdraw(offer_id, at=self.now)
+            if self.tracer.enabled:
+                self.tracer.ledger_event("withdraw", offer_id, node=self.name)
         if offer_id not in self._scheduled:
             self._unscheduled_energy -= self._offer_energy(offer)
         self.ingest.retire([offer], self._now_slice, "withdrawn")
@@ -653,6 +750,19 @@ class BrpRuntimeService:
         oid = member.offer_id
         if oid not in self._live:
             return False
+        led = self.ledger
+        if (
+            led is not None
+            and led.recording
+            and self._committed_start.get(oid) != start
+        ):
+            # Every change to a committed plan start is a durable fact —
+            # what makes committed schedules survive a crash or outage.
+            led.record_scheduled(oid, start, at=self.now)
+            if self.tracer.enabled:
+                self.tracer.ledger_event(
+                    "scheduled", oid, node=self.name, detail={"start": start}
+                )
         self._committed_start[oid] = start
         if oid not in self._scheduled:
             self._scheduled.add(oid)
@@ -770,6 +880,12 @@ class BrpRuntimeService:
             if oid not in self._scheduled
             and (o.latest_start < now or deadline_passed(o))
         ]
+        led = self.ledger
+        if led is not None and led.recording and (executed or expired):
+            for offer in executed:
+                led.record_retire(offer.offer_id, "executed", at=now)
+            for offer in expired:
+                led.record_retire(offer.offer_id, "expired", at=now)
         self.ingest.retire(executed, now_slice, "executed")
         self.ingest.retire(expired, now_slice, "expired")
         for offer in expired:
@@ -877,6 +993,12 @@ class BrpRuntimeService:
         start = self.now
         end = start + duration_slices
 
+        led = self.ledger
+        if led is not None and led.recording_inputs:
+            # The window marker lets re-execution replay re-arm the same
+            # expiry-sweep cadence at the same phase.
+            led.record_run_window(start, end, at=start)
+
         self.arm_arrivals(arrivals, end)
         self.arm_sweep_ticks(end)
 
@@ -898,6 +1020,10 @@ class BrpRuntimeService:
         self.driver.run_until(end)
 
         # Drain: retire closed windows, aggregate the tail, schedule once more.
+        if led is not None and led.recording_inputs:
+            # Journaled before it runs, so a crash *during* the drain
+            # replays it; its absence marks a window cut short mid-run.
+            led.record_run_drain(end, at=self.now)
         self.sweep_expired()
         self.run_aggregation()
         self.maybe_schedule(force=True)

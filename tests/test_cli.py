@@ -153,3 +153,116 @@ def test_cluster_file_validated_exits_2(tmp_path, capsys):
 def test_nonpositive_brps_exits_2(capsys):
     assert main(["loadtest", *TINY, "--brps", "0"]) == EXIT_UNKNOWN_EXPERIMENT
     assert "--brps must be positive" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# durability + fault-injection flags
+# ----------------------------------------------------------------------
+def test_ledger_flag_journals_the_run(tmp_path, capsys):
+    led = tmp_path / "led"
+    assert main(["loadtest", *TINY, "--ledger", str(led)]) == EXIT_OK
+    segments = list(led.glob("segment-*.jsonl"))
+    assert segments and segments[0].stat().st_size > 0
+
+
+def test_cluster_ledger_uses_per_brp_subdirs(tmp_path, capsys):
+    led = tmp_path / "led"
+    assert (
+        main(["loadtest", *TINY, "--brps", "2", "--ledger", str(led)])
+        == EXIT_OK
+    )
+    assert sorted(p.name for p in led.iterdir()) == ["brp-0", "brp-1"]
+    assert list((led / "brp-0").glob("segment-*.jsonl"))
+
+
+def test_hostile_stream_flags_run(tmp_path, capsys):
+    assert (
+        main([
+            "loadtest", *TINY, "--ledger", str(tmp_path / "led"),
+            "--duplicate-rate", "0.2", "--reorder-window", "4",
+        ])
+        == EXIT_OK
+    )
+    assert "offers accepted" in capsys.readouterr().out
+
+
+def test_outage_flag_runs_in_cluster_mode(capsys):
+    assert (
+        main(["loadtest", *TINY, "--brps", "2", "--outage", "brp-1:2:6"])
+        == EXIT_OK
+    )
+
+
+def test_bad_duplicate_rate_exits_2(capsys):
+    assert (
+        main(["loadtest", *TINY, "--duplicate-rate", "1.5"])
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    assert "--duplicate-rate" in capsys.readouterr().err
+
+
+def test_bad_reorder_window_exits_2(capsys):
+    assert (
+        main(["loadtest", *TINY, "--reorder-window", "-1"])
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    assert "--reorder-window" in capsys.readouterr().err
+
+
+def test_bad_fsync_mode_exits_2(capsys):
+    assert (
+        main(["loadtest", *TINY, "--ledger", "led", "--fsync", "sometimes"])
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    err = capsys.readouterr().err
+    assert "commit" in err and "never" in err
+
+
+def test_malformed_outage_spec_exits_2(capsys):
+    assert (
+        main(["loadtest", *TINY, "--brps", "2", "--outage", "nonsense"])
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    assert "outage spec" in capsys.readouterr().err
+
+
+def test_outage_unknown_brp_exits_2(capsys):
+    assert (
+        main(["loadtest", *TINY, "--brps", "2", "--outage", "brp-9:1:2"])
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    assert "unknown BRP" in capsys.readouterr().err
+
+
+def test_outage_without_cluster_exits_2(capsys):
+    assert (
+        main(["loadtest", *TINY, "--outage", "brp-0:1:2"])
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    assert "cluster mode" in capsys.readouterr().err
+
+
+def test_bus_retries_enables_resilient_cluster_bus(capsys):
+    assert (
+        main(
+            [
+                "loadtest",
+                "--rate", "20", "--duration", "24", "--seed", "1",
+                "--batch", "8", "--passes", "1",
+                "--brps", "2",
+                "--outage", "brp-1:4:16",
+                "--bus-retries", "2",
+            ]
+        )
+        == EXIT_OK
+    )
+    out = capsys.readouterr().out
+    assert "bus resilience" in out  # retry path engaged, not best-effort drop
+
+
+def test_negative_bus_retries_exits_2(capsys):
+    assert (
+        main(["loadtest", *TINY, "--bus-retries", "-1"])
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    assert "--bus-retries" in capsys.readouterr().err

@@ -1,0 +1,314 @@
+"""Durable event ledger: codec, segmented log, idempotency, DLQ, replay.
+
+Covers the offer codec's bit-exact round trip, the segmented JSONL log's
+rolling/fsync/torn-tail behaviour, the ledger's idempotency guard and
+dead-letter queue (including their rebuild from disk across a restart
+boundary), reverse-and-replace journaling for edits, and the two replay
+modes of ``LedmsClient.resume_from_ledger``.
+"""
+
+import json
+
+import pytest
+
+from repro.api import LedmsClient, SubmitResult
+from repro.api.config import IngestConfig, SchedulingConfig, ServiceConfig
+from repro.api.ledger import (
+    FACT_KINDS,
+    INPUT_KINDS,
+    JsonlEventLog,
+    MemoryEventLog,
+    OfferLedger,
+    default_source_event_id,
+    offer_from_dict,
+    offer_to_dict,
+)
+from repro.core import flex_offer
+from repro.core.errors import DataManagementError
+from repro.core.timebase import TimeAxis
+from repro.datamgmt.mirabel import LedmsStore
+from repro.runtime import LoadGenerator, SimulatedDriver, state_fingerprint
+from repro.runtime.triggers import AgeTrigger, AnyTrigger, CountTrigger
+
+
+def _config(batch=4) -> ServiceConfig:
+    return ServiceConfig(
+        ingest=IngestConfig(batch_size=batch),
+        scheduling=SchedulingConfig(
+            horizon_slices=96,
+            scheduler_passes=1,
+            trigger=AnyTrigger([CountTrigger(20), AgeTrigger(8)]),
+            min_run_interval_slices=2.0,
+        ),
+    )
+
+
+def _offer(est, tf=6, duration=2, lo=1.0, hi=2.0, **kw):
+    return flex_offer(
+        [(lo, hi)] * duration, earliest_start=est, latest_start=est + tf, **kw
+    )
+
+
+def _ledger_client(log=None):
+    ledger = OfferLedger(log if log is not None else MemoryEventLog())
+    return LedmsClient(_config(), ledger=ledger)
+
+
+# ----------------------------------------------------------------------
+class TestCodec:
+    def test_round_trip_is_exact(self):
+        offer = _offer(10, lo=0.25, hi=1.7, owner="alice", unit_price=0.31)
+        back = offer_from_dict(offer_to_dict(offer))
+        assert offer_to_dict(back) == offer_to_dict(offer)
+        assert back.offer_id == offer.offer_id
+        assert back.owner == offer.owner
+        assert [
+            (c.min_energy, c.max_energy) for c in back.profile
+        ] == [(c.min_energy, c.max_energy) for c in offer.profile]
+
+    def test_round_trip_survives_json(self):
+        offer = _offer(3, lo=0.1, hi=0.3)
+        wire = json.loads(json.dumps(offer_to_dict(offer)))
+        assert offer_to_dict(offer_from_dict(wire)) == offer_to_dict(offer)
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(DataManagementError):
+            offer_from_dict({"offer_id": 1})
+
+    def test_source_event_id_stable_for_identical_content(self):
+        offer = _offer(10)
+        clone = offer_from_dict(offer_to_dict(offer))
+        assert default_source_event_id(offer) == default_source_event_id(clone)
+
+    def test_source_event_id_differs_for_edited_content(self):
+        offer = _offer(10, lo=1.0, hi=2.0)
+        edited = _offer(10, lo=2.0, hi=3.0, offer_id=offer.offer_id)
+        assert default_source_event_id(offer) != default_source_event_id(edited)
+
+
+# ----------------------------------------------------------------------
+class TestJsonlEventLog:
+    def test_append_replay_order(self, tmp_path):
+        log = JsonlEventLog(tmp_path / "led", fsync="never")
+        for i in range(5):
+            log.append({"seq": i})
+        assert [e["seq"] for e in log.replay()] == list(range(5))
+        assert len(log) == 5
+
+    def test_segments_roll(self, tmp_path):
+        log = JsonlEventLog(
+            tmp_path / "led", fsync="never", segment_max_events=3
+        )
+        for i in range(8):
+            log.append({"seq": i})
+        log.close()
+        assert len(log.segments()) == 3
+        assert [e["seq"] for e in log.replay()] == list(range(8))
+
+    def test_reopen_resumes_count_and_order(self, tmp_path):
+        log = JsonlEventLog(tmp_path / "led", segment_max_events=3)
+        for i in range(4):
+            log.append({"seq": i})
+        log.close()
+        reopened = JsonlEventLog(tmp_path / "led", segment_max_events=3)
+        assert len(reopened) == 4
+        reopened.append({"seq": 4})
+        assert [e["seq"] for e in reopened.replay()] == list(range(5))
+
+    def test_torn_tail_is_skipped_and_truncated(self, tmp_path):
+        log = JsonlEventLog(tmp_path / "led")
+        log.append({"seq": 0})
+        log.append({"seq": 1})
+        log.close()
+        segment = log.segments()[-1]
+        with open(segment, "ab") as handle:
+            handle.write(b'{"seq": 2, "torn')  # crash mid-append
+        assert [e["seq"] for e in log.replay()] == [0, 1]
+        # Reopening truncates the torn tail so new appends stay intact.
+        reopened = JsonlEventLog(tmp_path / "led")
+        assert len(reopened) == 2
+        reopened.append({"seq": 2})
+        assert [e["seq"] for e in reopened.replay()] == [0, 1, 2]
+
+    def test_mid_segment_corruption_raises(self, tmp_path):
+        log = JsonlEventLog(tmp_path / "led")
+        log.append({"seq": 0})
+        log.close()
+        segment = log.segments()[-1]
+        with open(segment, "ab") as handle:
+            handle.write(b"not json\n")
+        with pytest.raises(DataManagementError):
+            list(JsonlEventLog(tmp_path / "led").replay())
+
+    def test_unknown_fsync_mode_raises(self, tmp_path):
+        with pytest.raises(DataManagementError):
+            JsonlEventLog(tmp_path / "led", fsync="sometimes")
+
+
+# ----------------------------------------------------------------------
+class TestIdempotency:
+    def test_duplicate_submission_returns_recorded_result(self):
+        client = _ledger_client()
+        offer = _offer(10)
+        first = client.submit(offer)
+        assert first.accepted
+        live_before = len(client.service._live)
+        again = client.submit(offer)
+        assert isinstance(again, SubmitResult)
+        assert again.accepted and again.offer_id == first.offer_id
+        assert len(client.service._live) == live_before  # no double-count
+        assert client.ledger.duplicates == 1
+        kinds = [e["kind"] for e in client.ledger.events()]
+        assert kinds.count("submit") == 1
+        assert "duplicate" in kinds
+
+    def test_duplicate_rejection_replays_original_reason(self):
+        client = _ledger_client()
+        bad = _offer(5, lo=0.0, hi=0.0)  # carries no energy
+        first = client.submit(bad)
+        assert not first.accepted
+        again = client.submit(bad)
+        assert not again.accepted
+        assert again.reason == first.reason
+        # Only the first attempt is dead-lettered.
+        assert len(client.dead_letters()) == 1
+
+    def test_explicit_source_event_id_wins_over_content(self):
+        client = _ledger_client()
+        first = client.submit(_offer(10), source_event_id="ev-1")
+        other = _offer(30)  # different content, same declared source event
+        again = client.submit(other, source_event_id="ev-1")
+        assert again.offer_id == first.offer_id
+        assert client.ledger.duplicates == 1
+
+    def test_guard_survives_restart_from_disk(self, tmp_path):
+        log = JsonlEventLog(tmp_path / "led")
+        client = _ledger_client(log)
+        offer = _offer(10)
+        first = client.submit(offer)
+        client.ledger.close()
+        # A fresh ledger over the same directory rebuilds the guard
+        # before any replay runs.
+        reopened = OfferLedger(JsonlEventLog(tmp_path / "led"))
+        recorded = reopened.recorded_result(default_source_event_id(offer))
+        assert recorded is not None
+        assert recorded.accepted and recorded.offer_id == first.offer_id
+
+
+# ----------------------------------------------------------------------
+class TestFactJournal:
+    def test_update_journals_reverse_and_replace_pair(self):
+        client = _ledger_client()
+        first = _offer(10, lo=1.0, hi=2.0)
+        client.submit(first)
+        revised = _offer(12, lo=2.0, hi=3.0, offer_id=first.offer_id)
+        assert client.update(revised).accepted
+        events = list(client.ledger.events())
+        reverse = next(e for e in events if e["kind"] == "reverse")
+        replace = next(e for e in events if e["kind"] == "replace")
+        assert reverse["offer_id"] == first.offer_id
+        assert replace["reverses"] == first.offer_id
+        assert reverse["seq"] < replace["seq"]
+        # An edit is a correction pair, not a withdraw+submit triple.
+        assert not any(e["kind"] == "withdraw" for e in events)
+
+    def test_rejected_update_journals_no_reverse(self):
+        client = _ledger_client()
+        first = _offer(10)
+        client.submit(first)
+        bad = _offer(12, lo=0.0, hi=0.0, offer_id=first.offer_id)
+        assert not client.update(bad).accepted
+        events = list(client.ledger.events())
+        assert not any(e["kind"] == "reverse" for e in events)
+        assert any(e["kind"] == "dead_letter" for e in events)
+        # The original version stays live.
+        assert first.offer_id in client.service._live
+
+    def test_rejection_routes_to_dead_letter_queue(self):
+        client = _ledger_client()
+        result = client.submit(_offer(5, lo=0.0, hi=0.0))
+        assert not result.accepted
+        letters = client.dead_letters()
+        assert len(letters) == 1
+        assert letters[0].reason == result.reason
+        assert letters[0].offer is not None
+
+    def test_dead_letters_rebuild_from_disk(self, tmp_path):
+        log = JsonlEventLog(tmp_path / "led")
+        client = _ledger_client(log)
+        client.submit(_offer(5, lo=0.0, hi=0.0))
+        client.ledger.close()
+        reopened = OfferLedger(JsonlEventLog(tmp_path / "led"))
+        assert len(reopened.dead_letters()) == 1
+
+    def test_unknown_fact_kind_raises(self):
+        ledger = OfferLedger()
+        with pytest.raises(DataManagementError):
+            ledger._append("telegram", at=0.0)
+
+    def test_input_kinds_are_a_subset_of_fact_kinds(self):
+        assert set(INPUT_KINDS) <= set(FACT_KINDS)
+
+
+# ----------------------------------------------------------------------
+class TestStoreReplay:
+    def test_record_offer_event_requires_registered_actor(self):
+        store = LedmsStore(TimeAxis(15))
+        offer = _offer(10, owner="ghost")
+        with pytest.raises(DataManagementError):
+            store.record_offer_event("ghost", offer, "accepted", 0)
+
+    def test_replay_offer_event_auto_registers_actor(self):
+        store = LedmsStore(TimeAxis(15))
+        offer = _offer(10, owner="ghost")
+        store.replay_offer_event("ghost", offer, "accepted", 0)
+        assert store.offer_state(offer.offer_id) == "accepted"
+        # Idempotent: replaying more facts for the same actor is fine.
+        store.replay_offer_event("ghost", offer, "scheduled", 1)
+        assert store.offer_state(offer.offer_id) == "scheduled"
+
+
+# ----------------------------------------------------------------------
+class TestResumeFromLedger:
+    def _run(self, log, duration=48.0):
+        client = _ledger_client(log)
+        stream = LoadGenerator(rate_per_hour=40, seed=3).stream(0.0, duration)
+        client.run_stream(stream, duration)
+        return client
+
+    def test_reexecute_is_bit_identical(self, tmp_path):
+        log = JsonlEventLog(tmp_path / "led")
+        original = self._run(log)
+        original.ledger.close()
+        resumed = LedmsClient.resume_from_ledger(
+            str(tmp_path / "led"), _config()
+        )
+        assert resumed.last_replay.mode == "reexecute"
+        assert state_fingerprint(resumed) == state_fingerprint(original)
+
+    def test_project_restores_live_pool_and_commitments(self):
+        log = MemoryEventLog()
+        original = self._run(log)
+        # An explicit driver past the log's first instant selects projection.
+        driver = SimulatedDriver(original.service.now)
+        resumed = LedmsClient.resume_from_ledger(
+            log, _config(), driver=driver
+        )
+        assert resumed.last_replay.mode == "project"
+        assert sorted(resumed.service._live) == sorted(original.service._live)
+        assert (
+            resumed.service._committed_start == original.service._committed_start
+        )
+        assert (
+            resumed.service.store.state_counts()
+            == original.service.store.state_counts()
+        )
+
+    def test_resumed_client_keeps_journaling(self):
+        log = MemoryEventLog()
+        original = self._run(log)
+        before = original.ledger.appends
+        resumed = LedmsClient.resume_from_ledger(log, _config())
+        result = resumed.submit(_offer(int(resumed.service.now) + 4))
+        assert result.accepted
+        assert resumed.ledger.appends > before
