@@ -8,6 +8,12 @@ Each ``expected`` argument is either a bare kind (``runtime`` — the file
 or starts with ``family.``, e.g. the multi-node runtime's ``cluster.*``
 scaling records).
 
+Some families carry extra structural requirements (``SPECIAL_FAMILIES``):
+``runtime.parallel`` selects the process-parallel scaling rows — records
+named ``cluster.parallel_k<N>`` — and requires each to declare a numeric
+``workers`` field in its workload, so a scaling row can never silently
+drop the worker count it was measured at.
+
 Checks structure only — never timing thresholds — so the CI smoke job can
 assert the harness works without becoming a flaky performance gate.  Exits
 non-zero (with a message per problem) when a file is malformed or an
@@ -23,18 +29,29 @@ import sys
 REQUIRED_TOP_LEVEL = ("kind", "schema_version", "scale", "smoke", "records")
 REQUIRED_RECORD = ("test", "name", "workload", "metrics")
 
+#: ``kind.family`` specs whose records live under a different name prefix
+#: and carry required workload fields.  ``runtime.parallel`` matches the
+#: process-parallel cluster rows ``cluster.parallel_k<N>``; each must say
+#: how many worker processes produced it.
+SPECIAL_FAMILIES: dict[tuple[str, str], dict] = {
+    ("runtime", "parallel"): {
+        "name_prefix": "cluster.parallel_k",
+        "required_workload": ("workers",),
+    },
+}
+
 
 def check_file(
     path: pathlib.Path,
-) -> tuple[list[str], str | None, set[str]]:
-    """Validate one file; returns (problems, kind or None, record names)."""
+) -> tuple[list[str], str | None, list[dict]]:
+    """Validate one file; returns (problems, kind or None, records)."""
     problems: list[str] = []
     try:
         payload = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
-        return [f"{path}: not valid JSON ({exc})"], None, set()
+        return [f"{path}: not valid JSON ({exc})"], None, []
     if not isinstance(payload, dict):
-        return [f"{path}: top level must be a JSON object"], None, set()
+        return [f"{path}: top level must be a JSON object"], None, []
     for key in REQUIRED_TOP_LEVEL:
         if key not in payload:
             problems.append(f"{path}: missing top-level key {key!r}")
@@ -62,12 +79,7 @@ def check_file(
                 )
         else:
             problems.append(f"{path}: records[{i}] metrics must be a dict")
-    names = {
-        record["name"]
-        for record in records
-        if isinstance(record, dict) and isinstance(record.get("name"), str)
-    }
-    return problems, payload.get("kind"), names
+    return problems, payload.get("kind"), [r for r in records if isinstance(r, dict)]
 
 
 def main(argv: list[str]) -> int:
@@ -85,18 +97,52 @@ def main(argv: list[str]) -> int:
         return 1
     problems: list[str] = []
     seen_kinds: set[str] = set()
-    names_by_kind: dict[str, set[str]] = {}
+    records_by_kind: dict[str, list[dict]] = {}
     for path in files:
-        file_problems, kind, names = check_file(path)
+        file_problems, kind, records = check_file(path)
         problems.extend(file_problems)
         if kind is not None:
             seen_kinds.add(kind)
-            names_by_kind.setdefault(kind, set()).update(names)
+            records_by_kind.setdefault(kind, []).extend(records)
     for kind in sorted(expected_kinds - seen_kinds):
         problems.append(f"{directory}: expected kind {kind!r} was not emitted")
     for kind, family in expected_families:
-        names = names_by_kind.get(kind, set())
-        if not any(
+        records = records_by_kind.get(kind, [])
+        names = {
+            record["name"]
+            for record in records
+            if isinstance(record.get("name"), str)
+        }
+        special = SPECIAL_FAMILIES.get((kind, family))
+        if special is not None:
+            prefix = special["name_prefix"]
+            matched = [
+                record
+                for record in records
+                if isinstance(record.get("name"), str)
+                and record["name"].startswith(prefix)
+            ]
+            if not matched:
+                problems.append(
+                    f"{directory}: kind {kind!r} has no {family!r} record "
+                    f"(expected a name prefixed by {prefix!r})"
+                )
+            for record in matched:
+                workload = record.get("workload")
+                for field in special["required_workload"]:
+                    value = (
+                        workload.get(field)
+                        if isinstance(workload, dict)
+                        else None
+                    )
+                    if not isinstance(value, (int, float)) or isinstance(
+                        value, bool
+                    ):
+                        problems.append(
+                            f"{directory}: record {record['name']!r} "
+                            f"workload is missing a numeric {field!r}"
+                        )
+        elif not any(
             name == family or name.startswith(f"{family}.") for name in names
         ):
             problems.append(

@@ -203,6 +203,22 @@ def _runtime_parser(command: str) -> argparse.ArgumentParser:
         "sections override where they speak",
     )
     parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="cluster mode: run the BRPs in N worker processes behind the "
+        "bus seam (shared-memory macro snapshots, TSO in the parent); "
+        "requires --driver simulated, incompatible with --outage "
+        "(default 0 = single-process cluster)",
+    )
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="shorthand for --workers 2 (process-parallel cluster runtime)",
+    )
+    parser.add_argument(
+        "--epoch-slices", type=float, default=4.0, metavar="S",
+        help="parallel mode: simulated slices per barrier epoch (workers "
+        "sync with the TSO tier at each boundary; default 4.0)",
+    )
+    parser.add_argument(
         "--metrics", action="store_true",
         help="also dump the full metrics registry",
     )
@@ -398,6 +414,42 @@ def _run_runtime(command: str, argv: list[str]) -> int:
             file=sys.stderr,
         )
         return EXIT_UNKNOWN_EXPERIMENT
+    if args.parallel and args.workers == 0:
+        args.workers = 2
+    if args.workers < 0:
+        print(
+            f"error: --workers must be >= 0, got {args.workers}",
+            file=sys.stderr,
+        )
+        return EXIT_UNKNOWN_EXPERIMENT
+    if args.workers > 0:
+        if args.cluster is None and args.brps == 1:
+            print(
+                "error: --workers needs cluster mode (--brps K or --cluster)",
+                file=sys.stderr,
+            )
+            return EXIT_UNKNOWN_EXPERIMENT
+        if args.driver != "simulated":
+            print(
+                "error: --workers requires --driver simulated (worker "
+                "processes own simulated clocks)",
+                file=sys.stderr,
+            )
+            return EXIT_UNKNOWN_EXPERIMENT
+        if args.outage:
+            print(
+                "error: --outage is not supported with --workers (the fault "
+                "harness runs on the single-process cluster)",
+                file=sys.stderr,
+            )
+            return EXIT_UNKNOWN_EXPERIMENT
+        if args.epoch_slices <= 0:
+            print(
+                f"error: --epoch-slices must be positive, got "
+                f"{args.epoch_slices}",
+                file=sys.stderr,
+            )
+            return EXIT_UNKNOWN_EXPERIMENT
     outages = []
     if args.outage:
         if args.cluster is None and args.brps == 1:
@@ -611,6 +663,8 @@ def _run_cluster(
         cluster_config = dataclasses.replace(
             cluster_config, bus=BusConfig(max_retries=args.bus_retries)
         )
+    if args.workers > 0:
+        return _run_parallel_cluster(command, args, cluster_config, tracer, writers)
     ledger_factory = (
         (lambda name: _make_ledger(args, name)) if args.ledger else None
     )
@@ -650,6 +704,73 @@ def _run_cluster(
     )
     if tracer is not None:
         cluster.trace_shutdown()
+    for writer in writers:
+        writer.close()
+    print(report.as_text(), file=out)
+    from .api import default_registry
+
+    _emit_metrics(args, default_registry(), cluster.metrics(), out)
+    return EXIT_OK
+
+
+def _run_parallel_cluster(command: str, args, cluster_config, tracer, writers) -> int:
+    """``--workers N``: the cluster's BRPs in worker processes.
+
+    Same cluster semantics as :func:`_run_cluster`'s single-process path
+    (per-BRP seeded streams, TSO tier, tracing, metrics), but each BRP
+    stack runs in one of N forked workers behind the process bus, with
+    macro snapshots crossing over shared memory.  With ``--ledger DIR``
+    each worker journals its BRPs under ``DIR/worker-<index>/<name>`` so
+    the per-process logs never interleave.
+    """
+    import os
+
+    from .core.errors import ServiceError
+    from .runtime import LoadGenerator
+    from .runtime.parallel import ParallelClusterRuntime, WorkerCrashError
+
+    ledger_factory = (
+        (
+            lambda index, name: _make_ledger(
+                args, os.path.join(f"worker-{index}", name)
+            )
+        )
+        if args.ledger
+        else None
+    )
+    out = sys.stderr if args.log_json else sys.stdout
+    try:
+        cluster = ParallelClusterRuntime(
+            cluster_config,
+            workers=args.workers,
+            epoch_slices=args.epoch_slices,
+            tracer=tracer,
+            ledger_factory=ledger_factory,
+        )
+    except ServiceError as exc:
+        print(f"error: invalid {command} configuration: {exc}", file=sys.stderr)
+        return EXIT_UNKNOWN_EXPERIMENT
+    streams = {
+        name: _fault_stream(
+            LoadGenerator(
+                rate_per_hour=args.rate, seed=args.seed + index
+            ).stream(0.0, args.duration),
+            args,
+            args.seed + index,
+        )
+        for index, name in enumerate(cluster.config.brps)
+    }
+    print(
+        f"### {command}: cluster of {len(cluster.config.brps)} BRPs + TSO "
+        f"across {args.workers} worker processes, rate={args.rate}/h per "
+        f"BRP, duration={args.duration} slices seed={args.seed}",
+        file=out,
+    )
+    try:
+        report = cluster.run(streams, args.duration)
+    except WorkerCrashError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_EXPERIMENT_FAILED
     for writer in writers:
         writer.close()
     print(report.as_text(), file=out)

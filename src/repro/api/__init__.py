@@ -67,8 +67,11 @@ __all__ = [
     "ObsConfig",
     "OfferLedger",
     "OfferView",
+    "ParallelClusterReport",
+    "ParallelClusterRuntime",
     "PlanAssignment",
     "PlanView",
+    "ProcessBusTransport",
     "Registration",
     "Registry",
     "RegistryError",
@@ -83,6 +86,7 @@ __all__ = [
     "TsoConfig",
     "TsoRuntimeService",
     "WallClockDriver",
+    "WorkerCrashError",
     "build_trigger",
     "default_registry",
 ]
@@ -116,6 +120,10 @@ _LAZY_EXPORTS = {
     "ClusterConfig": "cluster",
     "ClusterReport": "cluster",
     "ClusterRuntime": "cluster",
+    "ParallelClusterReport": "cluster",
+    "ParallelClusterRuntime": "cluster",
+    "ProcessBusTransport": "cluster",
+    "WorkerCrashError": "cluster",
     "TsoConfig": "cluster",
     "TsoRuntimeService": "cluster",
     "DeadLetter": "ledger",

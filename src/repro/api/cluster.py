@@ -16,6 +16,12 @@ from ..runtime.cluster import (
     TsoConfig,
     TsoRuntimeService,
 )
+from ..runtime.parallel import (
+    ParallelClusterReport,
+    ParallelClusterRuntime,
+    ProcessBusTransport,
+    WorkerCrashError,
+)
 
 __all__ = [
     "BusAdapter",
@@ -23,6 +29,10 @@ __all__ = [
     "ClusterConfig",
     "ClusterReport",
     "ClusterRuntime",
+    "ParallelClusterReport",
+    "ParallelClusterRuntime",
+    "ProcessBusTransport",
     "TsoConfig",
     "TsoRuntimeService",
+    "WorkerCrashError",
 ]

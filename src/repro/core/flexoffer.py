@@ -30,6 +30,7 @@ __all__ = [
     "Profile",
     "FlexOffer",
     "flex_offer",
+    "rebase_offer_ids",
 ]
 
 _id_counter = itertools.count(1)
@@ -37,6 +38,22 @@ _id_counter = itertools.count(1)
 
 def _next_id() -> int:
     return next(_id_counter)
+
+
+def rebase_offer_ids(base: int) -> None:
+    """Restart the process-wide offer-id counter at ``base`` + 1.
+
+    Offer ids are minted from one process-global counter, which keeps them
+    unique only *within* a process.  A forked worker inherits the parent's
+    counter position, so two workers would mint colliding aggregate ids —
+    fatal once their macro flex-offers meet again at the TSO.  Each worker
+    therefore rebases its counter into a disjoint band before running
+    (e.g. ``(worker_index + 1) * 10**12``).
+    """
+    global _id_counter
+    if base < 0:
+        raise InvalidFlexOfferError(f"offer-id base must be >= 0, got {base}")
+    _id_counter = itertools.count(base + 1)
 
 
 @dataclass(frozen=True, slots=True)

@@ -12,9 +12,29 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
-__all__ = ["MessageType", "Message"]
+__all__ = ["MessageType", "Message", "next_message_id", "rebase_message_ids"]
 
 _sequence = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Mint the next bus message id (what ``Message`` defaults to)."""
+    return next(_sequence)
+
+
+def rebase_message_ids(base: int) -> None:
+    """Restart the process-wide message-id counter at ``base`` + 1.
+
+    Message ids pair a bus publish with its delivery in traces and in the
+    adapter's in-flight table, so they must stay unique across every
+    process feeding one cluster.  A forked worker inherits the parent's
+    counter position; rebasing each worker into a disjoint band (e.g.
+    ``(worker_index + 1) * 10**9``) keeps cross-process publishes distinct.
+    """
+    global _sequence
+    if base < 0:
+        raise ValueError(f"message-id base must be >= 0, got {base}")
+    _sequence = itertools.count(base + 1)
 
 
 class MessageType(Enum):

@@ -28,7 +28,13 @@ from typing import Any, Callable, Mapping
 
 from ..core.errors import ServiceError
 
-__all__ = ["TraceContext", "Span", "Tracer", "NullTracer"]
+__all__ = [
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "TraceResequencer",
+]
 
 
 @dataclass(frozen=True)
@@ -127,6 +133,12 @@ class Tracer:
     sink:
         Optional callable invoked with each event dict as it is recorded
         (the JSON-lines writer).  The ring retains events either way.
+    span_base:
+        First span id this tracer mints.  Span ids are per-tracer, so a
+        cluster spanning several processes gives each worker's tracer a
+        disjoint band (e.g. ``(worker_index + 1) * 10**9``) — cross-process
+        :class:`TraceContext` links then stay unambiguous when the worker
+        streams merge into one trace.
     clock:
         Sim-time source (callable returning the current slice as float).
         Usually bound later via :meth:`bind_clock` once a driver exists.
@@ -144,11 +156,14 @@ class Tracer:
         sink: Callable[[dict], None] | None = None,
         clock: Callable[[], float] | None = None,
         wall: Callable[[], float] | None = None,
+        span_base: int = 1,
     ):
         if capacity <= 0:
             raise ServiceError("tracer capacity must be positive")
         if sample_every <= 0:
             raise ServiceError("tracer sample_every must be positive")
+        if span_base <= 0:
+            raise ServiceError("tracer span_base must be positive")
         self.capacity = capacity
         self.sample_every = sample_every
         self.evicted = 0
@@ -157,7 +172,7 @@ class Tracer:
         self._clock = clock
         self._wall = wall if wall is not None else time.perf_counter
         self._seq = 0
-        self._next_span = 1
+        self._next_span = span_base
         self._stack: list[Span] = []
 
     # -- time sources ---------------------------------------------------
@@ -510,3 +525,31 @@ class NullTracer:
     @property
     def events(self) -> tuple:
         return ()
+
+
+class TraceResequencer:
+    """Merge several tracers' event streams into one monotone sequence.
+
+    A multi-process cluster has one tracer per worker plus the parent's;
+    each numbers its own events, so their ``seq`` fields collide and
+    interleave.  The parent routes *every* record — its own tracer's sink
+    output and the batches workers ship at barriers — through one
+    resequencer, which rewrites ``seq`` in write order before forwarding to
+    the real sink.  The result is a single JSONL stream with strictly
+    increasing ``seq``, which is what the trace validator requires.
+    """
+
+    def __init__(self, sink: Callable[[dict], None]):
+        self._sink = sink
+        self._seq = 0
+        self.written = 0
+        """All-time records forwarded to the underlying sink."""
+
+    def write(self, record: dict) -> None:
+        """Rewrite ``record['seq']`` and forward it (also the sink surface)."""
+        record["seq"] = self._seq
+        self._seq += 1
+        self.written += 1
+        self._sink(record)
+
+    __call__ = write

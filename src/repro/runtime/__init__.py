@@ -20,6 +20,7 @@ Most callers should go through the typed facade in :mod:`repro.api`
         TriggerContext, CountTrigger, AgeTrigger, ImbalanceTrigger, AnyTrigger,
         ClusterRuntime, ClusterConfig, ClusterReport,
         TsoRuntimeService, TsoConfig, BusAdapter,
+        ParallelClusterRuntime, ParallelClusterReport, ProcessBusTransport,
     )
 """
 
@@ -57,6 +58,12 @@ from .faults import (
 )
 from .ingest import FlexOfferIngest
 from .loadgen import LoadGenerator
+from .parallel import (
+    ParallelClusterReport,
+    ParallelClusterRuntime,
+    ProcessBusTransport,
+    WorkerCrashError,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -100,6 +107,9 @@ __all__ = [
     "MetricsRegistry",
     "ObsConfig",
     "OutageSpec",
+    "ParallelClusterReport",
+    "ParallelClusterRuntime",
+    "ProcessBusTransport",
     "RuntimeConfig",
     "RuntimeReport",
     "SchedulingConfig",
@@ -113,6 +123,7 @@ __all__ = [
     "TsoConfig",
     "TsoRuntimeService",
     "WallClockDriver",
+    "WorkerCrashError",
     "aggregate_registries",
     "apply_outages",
     "continue_stream",

@@ -268,6 +268,22 @@ class BusAdapter:
         )
         return self._dispatch(message, attempt=1, detail=detail)
 
+    def forward(
+        self,
+        message: Message,
+        *,
+        detail: Mapping[str, Any] | None = None,
+    ) -> bool:
+        """Dispatch a pre-built message; False when undeliverable.
+
+        The relay entry point for messages that originated in *another*
+        process (the parallel runtime's worker transports): the message
+        keeps its original ``message_id`` and the sender's
+        :class:`~repro.obs.tracing.TraceContext`, so the publish/deliver
+        pairing and the causal chain stay intact across the pipe.
+        """
+        return self._dispatch(message, attempt=1, detail=detail)
+
     def _dispatch(
         self,
         message: Message,

@@ -1,0 +1,881 @@
+"""Process-parallel cluster runtime: BRP workers behind the BusAdapter seam.
+
+:class:`~repro.runtime.cluster.ClusterRuntime` runs every BRP, the TSO and
+the bus cooperatively on one thread — correct and deterministic, but the
+per-BRP pipelines (ingest → packed aggregation → scheduling →
+disaggregation) serialize on one core.  This module puts real processes
+behind the seams built for exactly that:
+
+* K **worker processes** (forked, so pre-materialised arrival streams and
+  configs cross for free), each running its share of the cluster's BRPs as
+  full :class:`~repro.api.LedmsClient` stacks on a worker-local
+  :class:`~repro.runtime.drivers.SimulatedDriver`;
+* a :class:`ProcessBusTransport` in each worker implementing the
+  ``BusAdapter`` send/register surface over a ``multiprocessing`` pipe —
+  the BRP publish hook and schedule handler wire up exactly as in the
+  single-thread cluster;
+* committed macro snapshots crossing the process boundary as raw
+  struct-of-arrays numpy buffers in ``multiprocessing.shared_memory``
+  segments (:mod:`repro.runtime.shm`) — the pipe carries segment names,
+  never pickled offer graphs;
+* the **TSO in the parent**, unchanged: relayed snapshots enter the real
+  :class:`~repro.runtime.cluster.BusAdapter` via :meth:`~repro.runtime.
+  cluster.BusAdapter.forward` with their original message ids and
+  :class:`~repro.obs.tracing.TraceContext`, so bus metrics, publish/deliver
+  pairing and ``inspect --offer`` chains work across the pipe.
+
+Time advances in **epochs** (bulk-synchronous): workers simulate
+``epoch_slices`` of arrivals/sweeps/local plans, then barrier; the parent
+relays their snapshots to the TSO, runs system-wide scheduling under the
+normal trigger rules, and returns scheduled macros down the pipes before
+releasing the next epoch.  Snapshots are always applied in worker order,
+so a parallel run is reproducible run-to-run for a fixed seed.
+
+Determinism vs the single-thread oracle: per-BRP local behaviour is
+identical (same streams, same seeds, per-worker offer-id bands keep the
+TSO's sorted pool walk in the same order), but TSO feedback lands at
+barriers instead of mid-epoch, so *mid-run* downlink timing differs from
+the single-thread cluster.  With TSO feedback deferred to the final drain
+(``trigger_refreshes`` above the snapshot count) the two modes commit the
+same accepted offers and the same micro start commitments — the parity
+oracle the tests pin.
+
+Worker lifecycle: SIGTERM drains and exits cleanly via the normal
+``finally`` path; every snapshot segment is unlinked by the parent as it
+is decoded, workers unlink anything unconsumed at exit, and the parent
+sweeps the run's ``/dev/shm`` prefix on shutdown (also via ``atexit``), so
+even a SIGKILL'd worker leaks nothing.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from ..core.errors import CommunicationError, ServiceError
+from ..core.flexoffer import FlexOffer, rebase_offer_ids
+from ..core.schedule import ScheduledFlexOffer
+from ..core.timeseries import TimeSeries
+from ..node.bus import MessageBus
+from ..node.messages import Message, MessageType, next_message_id, rebase_message_ids
+from ..obs.tracing import NullTracer, TraceContext, Tracer, TraceResequencer
+from .cluster import BusAdapter, ClusterConfig, ClusterReport, TsoRuntimeService
+from .drivers import SimulatedDriver, sim_clock
+from .metrics import MetricsRegistry, aggregate_registries
+from .shm import (
+    cleanup_run_segments,
+    read_snapshot,
+    segment_name,
+    unlink_segment,
+    write_snapshot,
+)
+
+__all__ = [
+    "ParallelClusterReport",
+    "ParallelClusterRuntime",
+    "ProcessBusTransport",
+    "WorkerCrashError",
+]
+
+#: Disjoint per-worker id bands: offer ids (aggregates minted in workers),
+#: bus message ids and tracer span ids must stay unique across processes.
+_OFFER_ID_BAND = 10**12
+_MESSAGE_ID_BAND = 10**9
+_SPAN_ID_BAND = 10**9
+
+
+class WorkerCrashError(ServiceError):
+    """A worker process died or stopped responding mid-run."""
+
+
+def _ctx_tuple(context: TraceContext | None) -> tuple[str, int] | None:
+    return None if context is None else (context.node, context.span_id)
+
+
+def _ctx_from(data: tuple[str, int] | None) -> TraceContext | None:
+    return None if data is None else TraceContext(data[0], int(data[1]))
+
+
+# ----------------------------------------------------------------------
+class ProcessBusTransport:
+    """Worker-side half of the process bus: the ``BusAdapter`` seam on a pipe.
+
+    Exposes the two methods cluster wiring uses — :meth:`send` for the BRP
+    publish hook and :meth:`register` for the schedule handler — so a BRP
+    stack wires to it exactly as to the in-process adapter.  ``send``
+    encodes the macro snapshot into a shared-memory segment and ships only
+    ``(segment name, message id, trace context)`` up the pipe;
+    :meth:`deliver_scheduled` is the downlink, rebuilding
+    :class:`~repro.core.schedule.ScheduledFlexOffer` payloads against the
+    worker's retained macro objects and dispatching them to the registered
+    handler as bus messages.
+    """
+
+    def __init__(
+        self,
+        conn,
+        *,
+        run_id: str,
+        worker_index: int,
+        tso_name: str,
+        tracer: Tracer | NullTracer,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.conn = conn
+        self.run_id = run_id
+        self.worker_index = worker_index
+        self.tso_name = tso_name
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._segment_seq = itertools.count(1)
+        #: Segments written but not yet confirmed consumed by the parent
+        #: (cleared at each ``proceed``); unlinked at exit as a backstop.
+        self._owned: set[str] = set()
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        # brp -> macro_id -> macro, cumulative over the run: the TSO may
+        # return a schedule for any macro it ever saw, mirroring the
+        # single-thread cluster where the payload *is* the object.
+        self._published: dict[str, dict[int, Any]] = {}
+
+    # -- BusAdapter surface --------------------------------------------
+    def register(self, name: str, handler: Callable[[Message], None]) -> None:
+        """Attach a BRP's schedule handler under its bus name."""
+        self._handlers[name] = handler
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        type_: MessageType,
+        payload: Any,
+        now: float,
+        *,
+        detail: Mapping[str, Any] | None = None,
+    ) -> bool:
+        """Ship one macro snapshot to the parent over shared memory."""
+        if recipient != self.tso_name or type_ is not MessageType.MACRO_FLEX_OFFER:
+            raise CommunicationError(
+                f"process transport only uplinks macro snapshots to "
+                f"{self.tso_name!r}, got {type_} for {recipient!r}"
+            )
+        macros = tuple(payload)
+        retained = self._published.setdefault(sender, {})
+        for macro in macros:
+            retained[macro.offer_id] = macro
+        t0 = time.perf_counter()
+        name = segment_name(
+            self.run_id, self.worker_index, next(self._segment_seq)
+        )
+        self._owned.add(name)
+        _, nbytes = write_snapshot(macros, name)
+        self.metrics.histogram("transport.encode_seconds").observe(
+            time.perf_counter() - t0
+        )
+        self.metrics.counter("transport.snapshots").inc()
+        self.metrics.counter("transport.shm_bytes").inc(nbytes)
+        context = self.tracer.current_context(sender)
+        macro_ids = [m.offer_id for m in macros] if self.tracer.enabled else []
+        self.conn.send(
+            (
+                "snapshot",
+                sender,
+                next_message_id(),
+                _ctx_tuple(context),
+                name,
+                nbytes,
+                int(now),
+                macro_ids,
+            )
+        )
+        return True
+
+    # -- downlink -------------------------------------------------------
+    def deliver_scheduled(self, items: Iterable[tuple]) -> int:
+        """Dispatch parent-relayed scheduled macros to their handlers."""
+        delivered = 0
+        for brp, macro_id, start, energies, ctx, message_id in items:
+            macro = self._published.get(brp, {}).get(macro_id)
+            handler = self._handlers.get(brp)
+            if macro is None or handler is None:
+                # The macro retired locally before its schedule crossed the
+                # pipe — the parallel analogue of a dropped bus message.
+                self.metrics.counter("transport.stale_schedules").inc()
+                continue
+            scheduled = ScheduledFlexOffer(macro, int(start), tuple(energies))
+            handler(
+                Message(
+                    self.tso_name,
+                    brp,
+                    MessageType.SCHEDULED_MACRO_FLEX_OFFER,
+                    scheduled,
+                    int(start),
+                    message_id=message_id,
+                    trace=_ctx_from(ctx),
+                )
+            )
+            delivered += 1
+        self.metrics.counter("transport.schedules_applied").inc(delivered)
+        return delivered
+
+    def confirm_consumed(self) -> None:
+        """Parent released an epoch: everything announced so far is decoded."""
+        self._owned.clear()
+
+    def cleanup(self) -> None:
+        """Unlink any segment the parent never consumed (exit backstop)."""
+        for name in self._owned:
+            unlink_segment(name)
+        self._owned.clear()
+
+
+# ----------------------------------------------------------------------
+def _worker_main(
+    worker_index: int,
+    conn,
+    peer_conns,
+    run_id: str,
+    brps: list[tuple[str, Any]],
+    streams: dict[str, list[tuple[float, FlexOffer]]],
+    boundaries: list[float],
+    end: float,
+    tso_name: str,
+    trace_spec: tuple[int, int] | None,
+    ledger_factory: Callable[[int, str], Any] | None,
+) -> None:
+    """Worker process body: its BRP share, one epoch at a time.
+
+    Runs forked, so ``brps``/``streams``/``ledger_factory`` arrive by
+    memory inheritance, not pickling.  The worker owns a private simulated
+    driver; barriers keep it within one epoch of the parent's clock.
+    """
+    # Imported here (not at module top) only to make the layering explicit:
+    # workers host full client stacks, like the single-thread cluster.
+    from ..api.client import LedmsClient
+
+    def _sigterm(signum, frame):
+        # Graceful worker shutdown: unwinding through the normal exit path
+        # runs the ``finally`` below, which unlinks unconsumed segments.
+        raise SystemExit(143)
+
+    signal.signal(signal.SIGTERM, _sigterm)
+
+    for peer in peer_conns:
+        if peer is not conn:
+            peer.close()
+
+    # Disjoint id bands per worker: aggregate offer ids minted here meet
+    # other workers' at the TSO, message ids pair publishes with deliveries
+    # across processes, span ids label cross-process trace links.
+    rebase_offer_ids((worker_index + 1) * _OFFER_ID_BAND)
+    rebase_message_ids((worker_index + 1) * _MESSAGE_ID_BAND)
+
+    batch: list[dict] = []
+    if trace_spec is not None:
+        sample_every, capacity = trace_spec
+        tracer: Tracer | NullTracer = Tracer(
+            capacity=capacity,
+            sample_every=sample_every,
+            sink=batch.append,
+            span_base=(worker_index + 1) * _SPAN_ID_BAND + 1,
+        )
+    else:
+        tracer = NullTracer()
+
+    driver = SimulatedDriver()
+    tracer.bind_clock(sim_clock(driver))
+    transport = ProcessBusTransport(
+        conn,
+        run_id=run_id,
+        worker_index=worker_index,
+        tso_name=tso_name,
+        tracer=tracer,
+    )
+    t_wall = time.perf_counter()
+    try:
+        clients: dict[str, LedmsClient] = {}
+        for name, service_config in brps:
+            client = LedmsClient(
+                service_config,
+                driver=driver,
+                name=name,
+                tracer=tracer,
+                ledger=(
+                    ledger_factory(worker_index, name)
+                    if ledger_factory is not None
+                    else None
+                ),
+            )
+            clients[name] = client
+            _wire_worker_brp(transport, name, client)
+
+        for name, client in clients.items():
+            client.service.arm_arrivals(streams[name], end)
+        for client in clients.values():
+            client.service.arm_sweep_ticks(end)
+
+        def flush_traces() -> list[dict]:
+            records, batch[:] = list(batch), []
+            return records
+
+        def await_release(epoch: int) -> None:
+            while True:
+                try:
+                    request = conn.recv()
+                except (EOFError, OSError):
+                    raise SystemExit(1)
+                kind = request[0]
+                if kind == "schedule":
+                    transport.deliver_scheduled(request[1])
+                elif kind == "proceed" and request[1] == epoch:
+                    transport.confirm_consumed()
+                    return
+                else:
+                    raise CommunicationError(
+                        f"worker {worker_index}: unexpected {kind!r} "
+                        f"awaiting epoch {epoch}"
+                    )
+
+        for epoch, boundary in enumerate(boundaries):
+            driver.run_until(boundary)
+            conn.send(("barrier", epoch, flush_traces()))
+            await_release(epoch)
+
+        # Final drain, mirroring ClusterRuntime.run: retire closed windows,
+        # flush ingest, force one last local plan (publishing snapshots).
+        for client in clients.values():
+            service = client.service
+            service.sweep_expired()
+            service.run_aggregation()
+            service.maybe_schedule(force=True)
+        conn.send(("drained", flush_traces()))
+        await_release(-1)
+
+        for client in clients.values():
+            client.service.trace_shutdown()
+
+        wall = time.perf_counter() - t_wall
+        accepted_states = tuple(
+            s for s in _offer_states() if s not in ("submitted", "rejected")
+        )
+        result = {
+            "worker": worker_index,
+            "wall_seconds": wall,
+            "reports": {
+                name: client.service.report(
+                    duration_slices=end, wall_seconds=wall
+                )
+                for name, client in clients.items()
+            },
+            "metrics": {
+                name: client.service.metrics
+                for name, client in clients.items()
+            },
+            "transport_metrics": transport.metrics,
+            "committed": {
+                name: dict(client.service._committed_start)
+                for name, client in clients.items()
+            },
+            "accepted": {
+                name: sorted(
+                    set().union(
+                        *(
+                            client.service.store.offers_in_state(s)
+                            for s in accepted_states
+                        )
+                    )
+                )
+                for name, client in clients.items()
+            },
+            "trace": flush_traces(),
+        }
+        conn.send(("result", result))
+        try:
+            conn.recv()  # ("stop",) — or EOF if the parent is gone
+        except (EOFError, OSError):
+            pass
+    except SystemExit:
+        raise
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, ValueError):
+            pass
+        raise SystemExit(1)
+    finally:
+        transport.cleanup()
+        conn.close()
+
+
+def _offer_states() -> tuple[str, ...]:
+    from ..datamgmt.mirabel import OFFER_STATES
+
+    return OFFER_STATES
+
+
+def _wire_worker_brp(
+    transport: ProcessBusTransport, name: str, client
+) -> None:
+    """The worker-side twin of ``ClusterRuntime._wire_brp``."""
+    service = client.service
+
+    @client.on_plan_committed
+    def publish(plan_view, _name=name, _service=service):
+        macros = _service.last_plan_originals
+        if macros:
+            transport.send(
+                _name,
+                transport.tso_name,
+                MessageType.MACRO_FLEX_OFFER,
+                macros,
+                _service.now,
+            )
+
+    def handle(message: Message, _service=service) -> None:
+        if message.type is not MessageType.SCHEDULED_MACRO_FLEX_OFFER:
+            raise CommunicationError(f"{name}: unexpected {message.type}")
+        _service.apply_remote_schedule(message.payload)
+
+    transport.register(name, handle)
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class ParallelClusterReport(ClusterReport):
+    """A :class:`ClusterReport` plus the parallel runtime's own counters."""
+
+    workers: int = 0
+    epochs: int = 0
+    shm_segments: int = 0
+    """Macro snapshots relayed over shared memory."""
+    shm_bytes: int = 0
+    """Raw snapshot bytes that crossed the process boundary."""
+
+    def as_text(self) -> str:
+        lines = [
+            super().as_text(),
+            f"workers               {self.workers} processes "
+            f"({self.epochs} epochs)",
+            f"shm snapshots         {self.shm_segments} segments / "
+            f"{self.shm_bytes} bytes",
+        ]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+class ParallelClusterRuntime:
+    """K BRP worker processes + the TSO tier in the parent, over pipes.
+
+    Drop-in alternative to :class:`~repro.runtime.cluster.ClusterRuntime`
+    for simulated-driver runs: same :class:`~repro.runtime.cluster.
+    ClusterConfig`, same ``run(streams, duration_slices)`` surface, a
+    :class:`ParallelClusterReport` out.  BRPs are assigned to ``workers``
+    processes round-robin; each worker simulates epochs of
+    ``epoch_slices`` between barriers.
+
+    Not supported here: wall-clock drivers (workers own simulated clocks)
+    and mid-run ``set_unreachable`` outage injection (the fault harness
+    stays on the single-thread oracle).
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        *,
+        workers: int = 2,
+        epoch_slices: float = 4.0,
+        tracer: Tracer | NullTracer | None = None,
+        tso_net_forecast: TimeSeries | None = None,
+        ledger_factory: Callable[[int, str], Any] | None = None,
+        barrier_timeout: float = 120.0,
+    ):
+        self.config = config if config is not None else ClusterConfig.uniform(2)
+        if workers < 1:
+            raise ServiceError(f"workers must be positive, got {workers}")
+        if workers > len(self.config.brps):
+            raise ServiceError(
+                f"{workers} workers for {len(self.config.brps)} BRPs; "
+                "a worker needs at least one BRP"
+            )
+        if epoch_slices <= 0:
+            raise ServiceError(
+                f"epoch_slices must be positive, got {epoch_slices}"
+            )
+        try:
+            self._mp = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise ServiceError(
+                "the parallel cluster runtime requires the fork start method"
+            ) from exc
+        self.workers = workers
+        self.epoch_slices = float(epoch_slices)
+        self.barrier_timeout = float(barrier_timeout)
+        self.run_id = f"{os.getpid()}-{os.urandom(4).hex()}"
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._ledger_factory = ledger_factory
+
+        self.driver = SimulatedDriver()
+        self.tracer.bind_clock(sim_clock(self.driver))
+        # Route the parent tracer's sink through a resequencer so parent
+        # events and relayed worker batches form one monotone JSONL stream.
+        self._reseq: TraceResequencer | None = None
+        if self.tracer.enabled and self.tracer._sink is not None:
+            self._reseq = TraceResequencer(self.tracer._sink)
+            self.tracer._sink = self._reseq
+        self.bus = MessageBus()
+        self.adapter = BusAdapter(
+            self.bus,
+            self.driver,
+            tracer=self.tracer,
+            bus_config=self.config.bus,
+        )
+        self.tso = TsoRuntimeService(
+            self.config.tso,
+            adapter=self.adapter,
+            name=self.config.tso_name,
+            net_forecast=tso_net_forecast,
+            tracer=self.tracer,
+        )
+        # Round-robin BRP ownership, in config order.
+        names = list(self.config.brps)
+        self.assignment: dict[int, list[str]] = {
+            w: names[w :: self.workers] for w in range(self.workers)
+        }
+        self._worker_of = {
+            name: w for w, owned in self.assignment.items() for name in owned
+        }
+        self._outbox: dict[int, list[tuple]] = {}
+        for name in names:
+            self.adapter.register(name, self._make_downlink_handler(name))
+
+        self._procs: list[Any] = []
+        self._conns: list[Any] = []
+        self._ran = False
+        self.shm_segments = 0
+        self.shm_bytes = 0
+        self.epochs = 0
+        self._brp_registries: dict[str, MetricsRegistry] = {}
+        self._transport_registries: list[MetricsRegistry] = []
+        self._brp_reports: dict[str, Any] = {}
+        self.committed_starts: dict[str, dict[int, int]] = {}
+        """Per-BRP micro start commitments, shipped back at run end."""
+        self.accepted_offers: dict[str, list[int]] = {}
+        """Per-BRP ids of every offer accepted at ingest, for parity checks."""
+        atexit.register(self._cleanup)
+
+    # ------------------------------------------------------------------
+    def _make_downlink_handler(self, name: str) -> Callable[[Message], None]:
+        worker = self._worker_of[name]
+
+        def handle(message: Message) -> None:
+            if message.type is not MessageType.SCHEDULED_MACRO_FLEX_OFFER:
+                raise CommunicationError(f"{name}: unexpected {message.type}")
+            scheduled = message.payload
+            self._outbox.setdefault(worker, []).append(
+                (
+                    name,
+                    scheduled.offer.offer_id,
+                    int(scheduled.start),
+                    scheduled.energies,
+                    _ctx_tuple(message.trace),
+                    message.message_id,
+                )
+            )
+
+        return handle
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        streams: Mapping[str, Iterable[tuple[float, FlexOffer]]],
+        duration_slices: float,
+    ) -> ParallelClusterReport:
+        """Drive the cluster through the window across worker processes.
+
+        ``streams`` are materialised up front (forked workers inherit the
+        offer objects, and the parity oracle needs both modes to see the
+        identical offers), so arbitrarily long lazy streams should stay on
+        the single-thread runtime.
+        """
+        if self._ran:
+            raise ServiceError("a parallel cluster runtime runs once")
+        self._ran = True
+        unknown = sorted(set(streams) - set(self.config.brps))
+        if unknown:
+            raise ServiceError(
+                f"streams for unknown BRPs {', '.join(map(repr, unknown))}"
+            )
+        t_wall = time.perf_counter()
+        start = self.driver.now
+        end = start + duration_slices
+        boundaries: list[float] = []
+        t = start
+        while t < end:
+            t = min(t + self.epoch_slices, end)
+            boundaries.append(t)
+        self.epochs = len(boundaries)
+
+        materialised = {
+            name: list(streams.get(name, ())) for name in self.config.brps
+        }
+        trace_spec = (
+            (self.tracer.sample_every, self.tracer.capacity)
+            if self.tracer.enabled
+            else None
+        )
+
+        all_conns = []
+        try:
+            for w in range(self.workers):
+                parent_conn, child_conn = self._mp.Pipe()
+                self._conns.append(parent_conn)
+                all_conns.append(child_conn)
+            for w in range(self.workers):
+                brps = [
+                    (name, self.config.brps[name])
+                    for name in self.assignment[w]
+                ]
+                proc = self._mp.Process(
+                    target=_worker_main,
+                    args=(
+                        w,
+                        all_conns[w],
+                        all_conns,
+                        self.run_id,
+                        brps,
+                        {name: materialised[name] for name in self.assignment[w]},
+                        boundaries,
+                        end,
+                        self.config.tso_name,
+                        trace_spec,
+                        self._ledger_factory,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                self._procs.append(proc)
+            for child_conn in all_conns:
+                child_conn.close()
+
+            for epoch, boundary in enumerate(boundaries):
+                self.driver.run_until(boundary)
+                self._barrier(epoch)
+            self._final_drain()
+            results = self._collect_results()
+            self._stop_workers()
+        finally:
+            self._cleanup()
+
+        wall = time.perf_counter() - t_wall
+        return self._report(results, duration_slices, wall)
+
+    # ------------------------------------------------------------------
+    def _recv(self, worker: int):
+        conn = self._conns[worker]
+        proc = self._procs[worker]
+        deadline = time.monotonic() + self.barrier_timeout
+        while True:
+            if conn.poll(0.05):
+                try:
+                    return conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise WorkerCrashError(
+                        f"worker {worker} (pid {proc.pid}) closed its pipe"
+                    ) from exc
+            if not proc.is_alive() and not conn.poll(0):
+                raise WorkerCrashError(
+                    f"worker {worker} (pid {proc.pid}) died with exit code "
+                    f"{proc.exitcode}"
+                )
+            if time.monotonic() > deadline:
+                raise WorkerCrashError(
+                    f"worker {worker} (pid {proc.pid}) unresponsive after "
+                    f"{self.barrier_timeout:g}s"
+                )
+
+    def _ingest_traces(self, records: list[dict]) -> None:
+        for record in records:
+            if self._reseq is not None:
+                self._reseq.write(record)
+            else:
+                self.tracer._ring.append(record)
+
+    def _relay_snapshot(self, item: tuple) -> None:
+        _, brp, message_id, ctx, seg, nbytes, issued_at, macro_ids = item
+        t0 = time.perf_counter()
+        macros = read_snapshot(seg)
+        unlink_segment(seg)
+        self.adapter.metrics.histogram("transport.decode_seconds").observe(
+            time.perf_counter() - t0
+        )
+        self.shm_segments += 1
+        self.shm_bytes += nbytes
+        detail = {"macro_ids": macro_ids} if self.tracer.enabled else None
+        self.adapter.forward(
+            Message(
+                brp,
+                self.config.tso_name,
+                MessageType.MACRO_FLEX_OFFER,
+                macros,
+                int(issued_at),
+                message_id=message_id,
+                trace=_ctx_from(ctx),
+            ),
+            detail=detail,
+        )
+
+    def _collect_until(self, worker: int, marker: str, epoch: int | None):
+        """Read one worker's pipe up to its barrier, relaying snapshots."""
+        while True:
+            item = self._recv(worker)
+            kind = item[0]
+            if kind == "snapshot":
+                self._relay_snapshot(item)
+            elif kind == "error":
+                raise WorkerCrashError(
+                    f"worker {worker} failed:\n{item[1]}"
+                )
+            elif kind == marker:
+                if marker == "barrier":
+                    if item[1] != epoch:
+                        raise WorkerCrashError(
+                            f"worker {worker} at epoch {item[1]}, "
+                            f"expected {epoch}"
+                        )
+                    self._ingest_traces(item[2])
+                else:  # drained
+                    self._ingest_traces(item[1])
+                return
+            else:
+                raise WorkerCrashError(
+                    f"worker {worker}: unexpected {kind!r} awaiting {marker}"
+                )
+
+    def _release(self, epoch: int) -> None:
+        for w in range(self.workers):
+            conn = self._conns[w]
+            conn.send(("schedule", self._outbox.pop(w, [])))
+            conn.send(("proceed", epoch))
+
+    def _barrier(self, epoch: int) -> None:
+        for w in range(self.workers):
+            self._collect_until(w, "barrier", epoch)
+        # Deliveries (and any TSO runs they trigger) pump on the parent
+        # driver at the epoch boundary, in worker order — deterministic.
+        self.driver.run_until(self.driver.now)
+        self._release(epoch)
+
+    def _final_drain(self) -> None:
+        """The parallel twin of ``ClusterRuntime.run``'s drain block."""
+        for w in range(self.workers):
+            self._collect_until(w, "drained", None)
+        self.driver.run_until(self.driver.now)
+        if self.tso._pending_refreshes:
+            self.tso.run_scheduling()
+            self.driver.run_until(self.driver.now)
+        self._release(-1)
+
+    def _collect_results(self) -> list[dict]:
+        results: list[dict] = []
+        for w in range(self.workers):
+            while True:
+                item = self._recv(w)
+                if item[0] == "result":
+                    results.append(item[1])
+                    break
+                if item[0] == "error":
+                    raise WorkerCrashError(
+                        f"worker {w} failed:\n{item[1]}"
+                    )
+        for result in sorted(results, key=lambda r: r["worker"]):
+            self._ingest_traces(result.pop("trace", []))
+            self._brp_reports.update(result["reports"])
+            self._brp_registries.update(result["metrics"])
+            self._transport_registries.append(result["transport_metrics"])
+            self.committed_starts.update(result["committed"])
+            self.accepted_offers.update(result["accepted"])
+        return results
+
+    def _stop_workers(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+
+    def _cleanup(self) -> None:
+        """Tear down workers and sweep the run's shared-memory segments.
+
+        Idempotent; also registered via ``atexit`` so an aborted run (or a
+        crashed parent) still reclaims every ``/dev/shm`` block.
+        """
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        cleanup_run_segments(self.run_id)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricsRegistry:
+        """Cluster-wide aggregation: worker registries + TSO + parent bus."""
+        return aggregate_registries(
+            list(self._brp_registries.values())
+            + self._transport_registries
+            + [self.tso.metrics, self.adapter.metrics]
+        )
+
+    @property
+    def remote_commits(self) -> int:
+        return int(
+            sum(
+                registry.counter("cluster.remote_commits").value
+                for registry in self._brp_registries.values()
+            )
+        )
+
+    def _report(
+        self, results: list[dict], duration_slices: float, wall_seconds: float
+    ) -> ParallelClusterReport:
+        merged = self.metrics()
+        latency = merged.histogram("latency.e2e_slices")
+        return ParallelClusterReport(
+            duration_slices=duration_slices,
+            wall_seconds=wall_seconds,
+            brp_reports=dict(self._brp_reports),
+            tso_scheduling_runs=self.tso.scheduling_runs,
+            tso_macro_snapshots=int(
+                self.tso.metrics.counter("tso.macro_snapshots").value
+            ),
+            tso_macros_returned=self.tso.macros_returned,
+            tso_plan_cost=self.tso.last_plan_cost,
+            remote_commits=self.remote_commits,
+            bus_delivered=self.adapter.delivered,
+            bus_dropped=self.adapter.dropped,
+            latency_slices_p50=latency.p50,
+            latency_slices_p95=latency.p95,
+            bus_retries=self.adapter.retries,
+            bus_replayed=self.adapter.replayed,
+            bus_parked=self.adapter.parked,
+            workers=self.workers,
+            epochs=self.epochs,
+            shm_segments=self.shm_segments,
+            shm_bytes=self.shm_bytes,
+        )

@@ -1,0 +1,337 @@
+"""Shared-memory codec for macro flex-offer snapshots (struct-of-arrays).
+
+The parallel cluster runtime ships each BRP's committed macro snapshot —
+a tuple of :class:`~repro.aggregation.aggregator.AggregatedFlexOffer` —
+from a worker process to the parent's TSO.  Pickling those object graphs
+through a pipe would serialize every member profile slice as Python
+objects; instead the snapshot is flattened into the same struct-of-arrays
+shape the packed aggregation engine uses (``PackedPool``/``GroupArena``
+columns: int64 scalar columns, concatenated float64 profile bounds) and
+written as raw numpy buffers into one ``multiprocessing.shared_memory``
+segment.  The pipe then carries only the segment name.
+
+Lifecycle contract: the *worker* creates and writes a segment (and
+immediately deregisters it from the resource tracker, so a worker exit
+does not tear it down under the parent), the *parent* decodes and unlinks
+it.  Segment names embed a per-run id so a crashed run's leftovers can be
+swept by :func:`cleanup_run_segments` — no leaked ``/dev/shm`` blocks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from multiprocessing import resource_tracker, shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from ..aggregation.aggregator import AggregatedFlexOffer
+from ..core.errors import ServiceError
+from ..core.flexoffer import FlexOffer, Profile
+
+__all__ = [
+    "SHM_PREFIX",
+    "encode_macros",
+    "decode_macros",
+    "write_snapshot",
+    "read_snapshot",
+    "segment_name",
+    "unlink_segment",
+    "cleanup_run_segments",
+]
+
+#: Prefix of every segment this codec creates (the crash-sweep glob key).
+SHM_PREFIX = "repro-shm"
+
+_CODEC_VERSION = 1
+#: Sentinel for a ``None`` ``assignment_before`` (real deadlines are >= 0).
+_NO_DEADLINE = -1
+
+# int64 scalar columns, in order: offer_id, earliest_start, latest_start,
+# creation_time, assignment_before (sentinel), owner index.
+_N_INT_COLS = 6
+
+
+def _scalar_rows(
+    offers: Sequence[FlexOffer], owner_index: dict[str, int]
+) -> np.ndarray:
+    rows = np.empty((len(offers), _N_INT_COLS), dtype=np.int64)
+    for i, offer in enumerate(offers):
+        owner = owner_index.setdefault(offer.owner, len(owner_index))
+        deadline = (
+            _NO_DEADLINE
+            if offer.assignment_before is None
+            else offer.assignment_before
+        )
+        rows[i] = (
+            offer.offer_id,
+            offer.earliest_start,
+            offer.latest_start,
+            offer.creation_time,
+            deadline,
+            owner,
+        )
+    return rows
+
+
+def _profile_columns(
+    offers: Sequence[FlexOffer],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-offer profile lengths + concatenated ``(min, max)`` bounds."""
+    lengths = np.fromiter(
+        (len(o.profile) for o in offers), dtype=np.int64, count=len(offers)
+    )
+    total = int(lengths.sum())
+    bounds = np.empty((total, 2), dtype=np.float64)
+    at = 0
+    for offer in offers:
+        n = len(offer.profile)
+        bounds[at : at + n, 0] = offer.profile.min_array
+        bounds[at : at + n, 1] = offer.profile.max_array
+        at += n
+    return lengths, bounds
+
+
+def encode_macros(macros: Sequence[AggregatedFlexOffer]) -> bytes:
+    """Flatten a macro snapshot into one raw struct-of-arrays buffer.
+
+    Members must be plain (non-aggregated) flex-offers — what a BRP's
+    level-2 aggregation produces; deeper nesting would need a recursive
+    layout and never occurs on the snapshot path.
+    """
+    members: list[FlexOffer] = []
+    member_counts = np.empty(len(macros), dtype=np.int64)
+    member_offsets: list[int] = []
+    for i, macro in enumerate(macros):
+        if not isinstance(macro, AggregatedFlexOffer):
+            raise ServiceError(
+                f"snapshot offer {macro.offer_id} is not an aggregate"
+            )
+        member_counts[i] = len(macro.members)
+        member_offsets.extend(macro.offsets)
+        for member in macro.members:
+            if isinstance(member, AggregatedFlexOffer):
+                raise ServiceError(
+                    f"macro {macro.offer_id} has an aggregated member "
+                    f"{member.offer_id}; snapshots encode one level deep"
+                )
+            members.append(member)
+
+    owner_index: dict[str, int] = {}
+    macro_ints = _scalar_rows(macros, owner_index)
+    member_ints = _scalar_rows(members, owner_index)
+    macro_prices = np.fromiter(
+        (m.unit_price for m in macros), dtype=np.float64, count=len(macros)
+    )
+    member_prices = np.fromiter(
+        (m.unit_price for m in members), dtype=np.float64, count=len(members)
+    )
+    macro_lengths, macro_bounds = _profile_columns(macros)
+    member_lengths, member_bounds = _profile_columns(members)
+    offsets_column = np.asarray(member_offsets, dtype=np.int64)
+
+    sections = [
+        macro_ints,
+        macro_prices,
+        macro_lengths,
+        macro_bounds,
+        member_counts,
+        offsets_column,
+        member_ints,
+        member_prices,
+        member_lengths,
+        member_bounds,
+    ]
+    header = json.dumps(
+        {
+            "version": _CODEC_VERSION,
+            "macros": len(macros),
+            "members": len(members),
+            "macro_slices": int(macro_lengths.sum()),
+            "member_slices": int(member_lengths.sum()),
+            "owners": sorted(owner_index, key=owner_index.__getitem__),
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    parts = [len(header).to_bytes(8, "little"), header]
+    parts.extend(section.tobytes() for section in sections)
+    return b"".join(parts)
+
+
+def decode_macros(buffer: bytes | memoryview) -> tuple[AggregatedFlexOffer, ...]:
+    """Rebuild the macro snapshot :func:`encode_macros` flattened."""
+    view = memoryview(buffer)
+    header_len = int.from_bytes(bytes(view[:8]), "little")
+    header = json.loads(bytes(view[8 : 8 + header_len]).decode("utf-8"))
+    if header.get("version") != _CODEC_VERSION:
+        raise ServiceError(
+            f"unsupported snapshot codec version {header.get('version')!r}"
+        )
+    n_macros = header["macros"]
+    n_members = header["members"]
+    owners = header["owners"]
+
+    at = 8 + header_len
+
+    def take(dtype, shape) -> np.ndarray:
+        nonlocal at
+        count = int(np.prod(shape)) if shape else 0
+        array = np.frombuffer(view, dtype=dtype, count=count, offset=at)
+        at += array.nbytes
+        return array.reshape(shape)
+
+    macro_ints = take(np.int64, (n_macros, _N_INT_COLS))
+    macro_prices = take(np.float64, (n_macros,))
+    macro_lengths = take(np.int64, (n_macros,))
+    macro_bounds = take(np.float64, (header["macro_slices"], 2))
+    member_counts = take(np.int64, (n_macros,))
+    offsets_column = take(np.int64, (n_members,))
+    member_ints = take(np.int64, (n_members, _N_INT_COLS))
+    member_prices = take(np.float64, (n_members,))
+    member_lengths = take(np.int64, (n_members,))
+    member_bounds = take(np.float64, (header["member_slices"], 2))
+
+    def build(
+        ints: np.ndarray, price: float, bounds: np.ndarray, **extra
+    ) -> dict:
+        oid, est, lst, created, deadline, owner = (int(v) for v in ints)
+        profile = Profile.from_bounds(
+            zip(bounds[:, 0].tolist(), bounds[:, 1].tolist())
+        )
+        return dict(
+            profile=profile,
+            earliest_start=est,
+            latest_start=lst,
+            offer_id=oid,
+            owner=owners[owner],
+            creation_time=created,
+            assignment_before=None if deadline == _NO_DEADLINE else deadline,
+            unit_price=float(price),
+            **extra,
+        )
+
+    members: list[FlexOffer] = []
+    slice_at = 0
+    for i in range(n_members):
+        n = int(member_lengths[i])
+        members.append(
+            FlexOffer(
+                **build(
+                    member_ints[i],
+                    member_prices[i],
+                    member_bounds[slice_at : slice_at + n],
+                )
+            )
+        )
+        slice_at += n
+
+    macros: list[AggregatedFlexOffer] = []
+    slice_at = 0
+    member_at = 0
+    for i in range(n_macros):
+        n = int(macro_lengths[i])
+        k = int(member_counts[i])
+        macros.append(
+            AggregatedFlexOffer(
+                **build(
+                    macro_ints[i],
+                    macro_prices[i],
+                    macro_bounds[slice_at : slice_at + n],
+                    members=tuple(members[member_at : member_at + k]),
+                    offsets=tuple(
+                        int(v) for v in offsets_column[member_at : member_at + k]
+                    ),
+                )
+            )
+        )
+        slice_at += n
+        member_at += k
+    return tuple(macros)
+
+
+# ----------------------------------------------------------------------
+def segment_name(run_id: str, worker_index: int, sequence: int) -> str:
+    """Deterministic, run-scoped segment name (the crash-sweep key)."""
+    return f"{SHM_PREFIX}-{run_id}-w{worker_index}-{sequence}"
+
+
+def write_snapshot(
+    macros: Sequence[AggregatedFlexOffer], name: str
+) -> tuple[str, int]:
+    """Encode ``macros`` into a fresh shared-memory segment ``name``.
+
+    Returns ``(name, nbytes)``.  The segment is deregistered from this
+    process's resource tracker: ownership transfers to whoever decodes it
+    (the parent unlinks after :func:`read_snapshot`), and crash leftovers
+    are swept by name prefix instead.
+    """
+    payload = encode_macros(macros)
+    segment = shared_memory.SharedMemory(
+        name=name, create=True, size=len(payload)
+    )
+    try:
+        segment.buf[: len(payload)] = payload
+    finally:
+        _untrack(segment)
+        segment.close()
+    return name, len(payload)
+
+
+def read_snapshot(name: str) -> tuple[AggregatedFlexOffer, ...]:
+    """Decode a snapshot segment (attach, copy out, close — no unlink)."""
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        # Attaching (create=False) never registers with the resource
+        # tracker on 3.11, so no untrack is needed here.
+        return decode_macros(segment.buf)
+    finally:
+        segment.close()
+
+
+def unlink_segment(name: str) -> bool:
+    """Unlink one segment; False when it is already gone."""
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def cleanup_run_segments(run_id: str) -> int:
+    """Unlink every leftover segment of one run; returns how many.
+
+    The backstop for crashed workers (or a crashed parent): segments are
+    named ``{SHM_PREFIX}-{run_id}-…``, so sweeping ``/dev/shm`` by prefix
+    reclaims everything the normal decode-then-unlink path missed.
+    """
+    root = "/dev/shm"
+    prefix = f"{SHM_PREFIX}-{run_id}-"
+    removed = 0
+    try:
+        entries = os.listdir(root)
+    except OSError:
+        return 0
+    for entry in entries:
+        if entry.startswith(prefix) and unlink_segment(entry):
+            removed += 1
+    return removed
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Opt this process's resource tracker out of managing ``segment``.
+
+    Python 3.11's tracker unlinks every registered segment when *any*
+    process that touched it exits; snapshot segments have an explicit
+    owner handoff instead, so tracker teardown would race the parent's
+    decode.  (3.13+ exposes ``track=False`` for exactly this.)
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass

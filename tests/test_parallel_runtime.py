@@ -1,0 +1,437 @@
+"""Process-parallel cluster runtime: shm codec, parity, lifecycle, traces.
+
+The deterministic single-thread :class:`~repro.runtime.cluster.
+ClusterRuntime` is the parity oracle: with TSO feedback pinned to the
+final drain, a parallel run must admit the same offers and commit the
+same micro start times, whatever the worker layout.  Lifecycle tests kill
+workers mid-run and require zero leaked ``/dev/shm`` blocks, and the
+2-worker trace must satisfy the same JSONL validator CI runs.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.aggregation import AggregatedFlexOffer
+from repro.aggregation.pipeline import aggregate_from_scratch
+from repro.aggregation.thresholds import AggregationParameters
+from repro.api import LedmsClient
+from repro.api.ledger import JsonlEventLog, OfferLedger
+from repro.core.errors import CommunicationError, ServiceError
+from repro.core.flexoffer import flex_offer, rebase_offer_ids
+from repro.datamgmt.mirabel import OFFER_STATES
+from repro.obs import JsonlWriter, Tracer
+from repro.runtime import (
+    ClusterConfig,
+    ClusterRuntime,
+    IngestConfig,
+    LoadGenerator,
+    SchedulingConfig,
+    ServiceConfig,
+    TsoConfig,
+)
+from repro.runtime.parallel import (
+    ParallelClusterRuntime,
+    ProcessBusTransport,
+    WorkerCrashError,
+)
+from repro.runtime.shm import (
+    cleanup_run_segments,
+    decode_macros,
+    encode_macros,
+    read_snapshot,
+    segment_name,
+    unlink_segment,
+    write_snapshot,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _macros(n_offers: int = 9, seed_start: int = 4):
+    offers = [
+        flex_offer(
+            [(1.0 + i * 0.25, 2.0 + i * 0.5)] * (1 + i % 3),
+            earliest_start=seed_start + i % 4,
+            latest_start=seed_start + 6 + i % 4,
+            owner=f"house-{i % 3}",
+            creation_time=i % 4,
+            assignment_before=None if i % 2 else seed_start + 6 + i % 4,
+            unit_price=0.05 * i,
+        )
+        for i in range(n_offers)
+    ]
+    macros = aggregate_from_scratch(
+        offers, AggregationParameters(start_after_tolerance=2,
+                                      time_flexibility_tolerance=2)
+    )
+    assert macros, "aggregation produced no macros"
+    return macros
+
+
+def _service_config(seed: int = 7) -> ServiceConfig:
+    return ServiceConfig(
+        scheduling=SchedulingConfig(scheduler_passes=1, seed=seed),
+        ingest=IngestConfig(batch_size=32),
+    )
+
+
+def _cluster_config(brps: int = 4, **tso_kwargs) -> ClusterConfig:
+    return ClusterConfig.uniform(
+        brps,
+        _service_config(),
+        tso=TsoConfig(scheduler_passes=1, **tso_kwargs),
+    )
+
+
+def _streams(names, duration: float, rate: float = 40.0):
+    # Rebase the process-global offer-id counter so both runtime modes
+    # mint identical micro-offer ids for identical seeded streams.
+    rebase_offer_ids(0)
+    return {
+        name: list(
+            LoadGenerator(rate_per_hour=rate, seed=11 + i).stream(
+                0.0, duration
+            )
+        )
+        for i, name in enumerate(names)
+    }
+
+
+def _shm_residue(run_id: str) -> list[str]:
+    prefix = f"repro-shm-{run_id}-"
+    try:
+        return [e for e in os.listdir("/dev/shm") if e.startswith(prefix)]
+    except OSError:  # pragma: no cover - non-Linux
+        return []
+
+
+# ----------------------------------------------------------------------
+class TestShmCodec:
+    def test_round_trip_is_exact(self):
+        macros = _macros()
+        rebuilt = decode_macros(encode_macros(macros))
+        assert len(rebuilt) == len(macros)
+        for original, copy in zip(macros, rebuilt):
+            assert copy == original
+            assert copy.offsets == original.offsets
+            assert copy.members == original.members
+            assert [m.owner for m in copy.members] == [
+                m.owner for m in original.members
+            ]
+            assert [m.assignment_before for m in copy.members] == [
+                m.assignment_before for m in original.members
+            ]
+
+    def test_rejects_non_aggregate_and_nested_members(self):
+        plain = flex_offer([(1.0, 2.0)], earliest_start=0, latest_start=4)
+        with pytest.raises(ServiceError, match="not an aggregate"):
+            encode_macros([plain])
+        inner = _macros(4)[0]
+        nested = AggregatedFlexOffer(
+            profile=inner.profile,
+            earliest_start=inner.earliest_start,
+            latest_start=inner.latest_start,
+            offer_id=inner.offer_id + 1,
+            owner="nested",
+            members=(inner,),
+            offsets=(0,),
+        )
+        with pytest.raises(ServiceError, match="one level deep"):
+            encode_macros([nested])
+
+    def test_segment_lifecycle_and_sweep(self):
+        macros = _macros()
+        name = segment_name("testrun", 0, 1)
+        _, nbytes = write_snapshot(macros, name)
+        assert nbytes > 0
+        assert read_snapshot(name) == tuple(macros)
+        assert unlink_segment(name) is True
+        assert unlink_segment(name) is False  # already gone
+        # Crash sweep reclaims whatever the decode path never touched.
+        write_snapshot(macros, segment_name("testrun", 1, 1))
+        write_snapshot(macros, segment_name("testrun", 1, 2))
+        assert cleanup_run_segments("testrun") == 2
+        assert _shm_residue("testrun") == []
+
+
+# ----------------------------------------------------------------------
+class TestParity:
+    def test_parallel_matches_single_thread_oracle(self):
+        """Fixed seed, drain-only TSO: same accepted set, same commitments.
+
+        ``trigger_refreshes`` is pinned above the snapshot count in BOTH
+        modes so TSO feedback lands only in the final drain — mid-run
+        downlink timing is the one place the epoch barrier differs from
+        the single-thread interleaving (see the runtime's docstring).
+        """
+        duration = 24.0
+        accepted_states = [
+            s for s in OFFER_STATES if s not in ("submitted", "rejected")
+        ]
+
+        single = ClusterRuntime(
+            _cluster_config(trigger_refreshes=10**9)
+        )
+        report_single = single.run(
+            _streams(single.clients, duration), duration
+        )
+        accepted_single = {
+            name: sorted(
+                set().union(
+                    *(
+                        client.service.store.offers_in_state(s)
+                        for s in accepted_states
+                    )
+                )
+            )
+            for name, client in single.clients.items()
+        }
+        committed_single = {
+            name: dict(client.service._committed_start)
+            for name, client in single.clients.items()
+        }
+
+        parallel = ParallelClusterRuntime(
+            _cluster_config(trigger_refreshes=10**9), workers=2
+        )
+        report_parallel = parallel.run(
+            _streams(parallel.config.brps, duration), duration
+        )
+
+        assert parallel.accepted_offers == accepted_single
+        assert parallel.committed_starts == committed_single
+        assert report_parallel.offers_accepted == report_single.offers_accepted
+        assert report_parallel.tso_plan_cost == report_single.tso_plan_cost
+        assert report_parallel.bus_dropped == 0
+        assert _shm_residue(parallel.run_id) == []
+
+    def test_default_config_admits_identically(self):
+        """Under live TSO feedback the admitted offer set still matches."""
+        duration = 24.0
+        single = ClusterRuntime(_cluster_config())
+        report_single = single.run(
+            _streams(single.clients, duration), duration
+        )
+        parallel = ParallelClusterRuntime(_cluster_config(), workers=2)
+        report_parallel = parallel.run(
+            _streams(parallel.config.brps, duration), duration
+        )
+        assert report_parallel.offers_accepted == report_single.offers_accepted
+        assert report_parallel.offers_submitted == report_single.offers_submitted
+        assert report_parallel.remote_commits > 0
+        assert report_parallel.workers == 2
+        assert report_parallel.shm_segments > 0
+        assert "workers" in report_parallel.as_text()
+
+
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def _run_in_thread(self, cluster, duration=96.0, rate=60.0):
+        streams = _streams(cluster.config.brps, duration, rate=rate)
+        box = {}
+
+        def target():
+            try:
+                box["report"] = cluster.run(streams, duration)
+            except BaseException as exc:  # noqa: BLE001 - surfaced to test
+                box["error"] = exc
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        return thread, box
+
+    def _wait_for_workers(self, cluster, timeout=10.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            procs = [p for p in cluster._procs if p.is_alive()]
+            if len(procs) == cluster.workers:
+                return procs
+            time.sleep(0.01)
+        raise AssertionError("workers never came up")
+
+    def test_sigkill_mid_run_raises_and_leaks_nothing(self):
+        cluster = ParallelClusterRuntime(_cluster_config(), workers=2)
+        thread, box = self._run_in_thread(cluster)
+        victim = self._wait_for_workers(cluster)[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert isinstance(box.get("error"), WorkerCrashError)
+        # Every worker is reaped and every segment of this run is swept.
+        for proc in cluster._procs:
+            assert not proc.is_alive()
+        assert _shm_residue(cluster.run_id) == []
+
+    def test_sigterm_drains_gracefully(self):
+        cluster = ParallelClusterRuntime(_cluster_config(), workers=2)
+        thread, box = self._run_in_thread(cluster)
+        victim = self._wait_for_workers(cluster)[0]
+        os.kill(victim.pid, signal.SIGTERM)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        # A terminated worker ends the run as a crash from the parent's
+        # perspective, but its SIGTERM path unlinks its own segments, so
+        # nothing is left even before the parent's sweep.
+        assert isinstance(box.get("error"), WorkerCrashError)
+        assert _shm_residue(cluster.run_id) == []
+
+    def test_run_is_single_use_and_validates_workers(self):
+        with pytest.raises(ServiceError, match="workers must be positive"):
+            ParallelClusterRuntime(_cluster_config(), workers=0)
+        with pytest.raises(ServiceError, match="at least one BRP"):
+            ParallelClusterRuntime(_cluster_config(brps=2), workers=3)
+        cluster = ParallelClusterRuntime(_cluster_config(brps=2), workers=2)
+        cluster.run(_streams(cluster.config.brps, 8.0), 8.0)
+        with pytest.raises(ServiceError, match="runs once"):
+            cluster.run({}, 8.0)
+
+    def test_transport_rejects_foreign_messages(self):
+        transport = ProcessBusTransport(
+            None,
+            run_id="x",
+            worker_index=0,
+            tso_name="tso",
+            tracer=Tracer(),
+        )
+        from repro.node.messages import MessageType
+
+        with pytest.raises(CommunicationError, match="only uplinks"):
+            transport.send(
+                "brp-0", "brp-1", MessageType.FLEX_OFFER_SUBMIT, (), 0.0
+            )
+
+
+# ----------------------------------------------------------------------
+class TestLedgerRecovery:
+    def test_worker_kill_then_resume_from_ledger(self, tmp_path):
+        """Per-worker journals survive a SIGKILL and rebuild their nodes."""
+
+        def ledger_factory(index: int, name: str):
+            log = JsonlEventLog(tmp_path / f"worker-{index}" / name)
+            return OfferLedger(log, node=name)
+
+        cluster = ParallelClusterRuntime(
+            _cluster_config(), workers=2, ledger_factory=ledger_factory
+        )
+        lifecycle = TestLifecycle()
+        thread, box = lifecycle._run_in_thread(cluster)
+        victims = lifecycle._wait_for_workers(cluster)
+        # Let the run journal some facts before the kill.
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            if any(
+                p.stat().st_size > 0 for p in tmp_path.rglob("*.jsonl")
+            ):
+                break
+            time.sleep(0.02)
+        os.kill(victims[0].pid, signal.SIGKILL)
+        thread.join(timeout=30.0)
+        assert isinstance(box.get("error"), WorkerCrashError)
+
+        ledger_dirs = sorted(
+            p.parent for p in tmp_path.rglob("*.jsonl")
+        )
+        assert ledger_dirs, "no worker journaled anything before the kill"
+        resumed_offers = 0
+        for directory in dict.fromkeys(ledger_dirs):
+            resumed = LedmsClient.resume_from_ledger(
+                str(directory), _service_config(), name=directory.name
+            )
+            counts = resumed.service.store.state_counts()
+            resumed_offers += sum(counts.values())
+        assert resumed_offers > 0
+
+    def test_cli_parallel_ledger_layout(self, tmp_path):
+        from repro.__main__ import EXIT_OK, main
+
+        ledger = tmp_path / "led"
+        assert (
+            main(
+                [
+                    "loadtest", "--brps", "2", "--workers", "2",
+                    "--rate", "10", "--duration", "8", "--passes", "1",
+                    "--ledger", str(ledger),
+                ]
+            )
+            == EXIT_OK
+        )
+        assert (ledger / "worker-0" / "brp-0").is_dir()
+        assert (ledger / "worker-1" / "brp-1").is_dir()
+
+
+# ----------------------------------------------------------------------
+class TestTracing:
+    def test_two_worker_trace_passes_the_jsonl_validator(self, tmp_path):
+        path = tmp_path / "parallel.jsonl"
+        writer = JsonlWriter(str(path))
+        tracer = Tracer(sink=writer)
+        cluster = ParallelClusterRuntime(
+            _cluster_config(), workers=2, tracer=tracer
+        )
+        duration = 16.0
+        cluster.run(_streams(cluster.config.brps, duration), duration)
+        writer.close()
+
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "benchmarks" / "check_trace_jsonl.py"),
+                str(path),
+            ],
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr or result.stdout
+
+        # Cross-pipe pairing, checked directly: every deliver (including
+        # relayed worker publishes) pairs with a publish, seq is strictly
+        # monotone, and both worker id bands appear.
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        seqs = [r["seq"] for r in records]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        published = {
+            r["message_id"]
+            for r in records
+            if r["event"] == "bus" and r["action"] == "publish"
+        }
+        delivered = {
+            r["message_id"]
+            for r in records
+            if r["event"] == "bus" and r["action"] == "deliver"
+        }
+        assert delivered <= published
+        uplinks = {m for m in published if m >= 10**9}
+        assert any(10**9 <= m < 2 * 10**9 for m in uplinks)
+        assert any(2 * 10**9 <= m < 3 * 10**9 for m in uplinks)
+
+    def test_offer_chain_crosses_the_process_boundary(self, tmp_path):
+        from repro.obs import load_trace, render_offer_tree
+
+        path = tmp_path / "chain.jsonl"
+        writer = JsonlWriter(str(path))
+        cluster = ParallelClusterRuntime(
+            _cluster_config(), workers=2, tracer=Tracer(sink=writer)
+        )
+        duration = 16.0
+        cluster.run(_streams(cluster.config.brps, duration), duration)
+        writer.close()
+        events = load_trace(str(path))
+        committed = [
+            r for r in events
+            if r.get("event") == "offer" and r.get("state") == "remote_commit"
+        ]
+        assert committed, "no offer completed the BRP→TSO→BRP loop"
+        tree = render_offer_tree(events, committed[0]["offer_id"])
+        assert "tso" in tree and "remote_commit" in tree
