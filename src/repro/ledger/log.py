@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, TextIO
 
 from ..core.errors import DataManagementError
 
@@ -77,7 +77,7 @@ class JsonlEventLog:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
         self.segment_max_events = int(segment_max_events)
-        self._handle = None
+        self._handle: TextIO | None = None
         self._segment_index = 0
         self._segment_events = 0
         self._count = 0
@@ -118,7 +118,7 @@ class JsonlEventLog:
         if len(intact) != len(raw):
             last.write_bytes(intact)
 
-    def _open_for_append(self):
+    def _open_for_append(self) -> TextIO:
         if self._handle is None:
             self._handle = open(
                 self._segment_path(self._segment_index),

@@ -137,7 +137,9 @@ class JsonlWriter:
         writer.close()
     """
 
-    def __init__(self, path: str | None = None, *, stream: IO[str] | None = None):
+    def __init__(
+        self, path: str | None = None, *, stream: IO[str] | None = None
+    ) -> None:
         if stream is not None:
             self._fh = stream
             self._owns = False

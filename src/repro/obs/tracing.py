@@ -452,7 +452,7 @@ class _NullSpan:
     """Shared no-op span: context manager with the Span surface."""
 
     __slots__ = ()
-    span_id = None
+    span_id: str | None = None
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -539,7 +539,7 @@ class TraceResequencer:
     increasing ``seq``, which is what the trace validator requires.
     """
 
-    def __init__(self, sink: Callable[[dict], None]):
+    def __init__(self, sink: Callable[[dict], None]) -> None:
         self._sink = sink
         self._seq = 0
         self.written = 0

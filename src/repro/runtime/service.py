@@ -322,7 +322,8 @@ class BrpRuntimeService:
     # ------------------------------------------------------------------
     def _trace_store_event(self, offer_id: int, state: str, now: int) -> None:
         """Mirror store lifecycle transitions into the trace (if sampled)."""
-        self.tracer.offer_event(offer_id, state, node=self.name)
+        if self.tracer.enabled:
+            self.tracer.offer_event(offer_id, state, node=self.name)
 
     def _stage(self, stage: str):
         """A span around one pipeline stage (no-op under NullTracer)."""

@@ -333,5 +333,5 @@ def _untrack(segment: shared_memory.SharedMemory) -> None:
     """
     try:
         resource_tracker.unregister(segment._name, "shared_memory")
-    except Exception:
+    except (OSError, KeyError, ValueError, AttributeError):
         pass

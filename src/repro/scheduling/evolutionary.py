@@ -106,7 +106,7 @@ class EvolutionaryScheduler:
         rng: np.random.Generator | None = None,
     ) -> SchedulingResult:
         """Evolve placements until the time/evaluation budget expires."""
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         tracker = CostTracker(budget_seconds, max_evaluations)
         packing = problem.packed_offers
         net = problem.net_forecast.values

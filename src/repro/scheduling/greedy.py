@@ -59,7 +59,7 @@ class RandomizedGreedyScheduler:
         greedy pass runs; it counts as one evaluation against ``max_passes``
         and the result is only ever at least as good as the warm candidate.
         """
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         tracker = CostTracker(
             budget_seconds, None if max_passes is None else max_passes
         )

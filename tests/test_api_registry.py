@@ -102,9 +102,9 @@ class TestUnifiedEngineValidation:
 
     def test_both_sites_reject_with_the_same_known_set(self):
         with pytest.raises(ServiceError) as config_err:
-            AggregationConfig(engine="bogus")
+            AggregationConfig(engine="bogus")  # replint: ignore[REP003]
         with pytest.raises(AggregationError) as pipeline_err:
-            make_pipeline(PARAMS, engine="bogus")
+            make_pipeline(PARAMS, engine="bogus")  # replint: ignore[REP003]
         assert str(config_err.value) == str(pipeline_err.value)
 
 
@@ -208,7 +208,7 @@ class TestRuntimeConfigShim:
         with pytest.raises(ServiceError):
             RuntimeConfig(batch_size=0)
         with pytest.raises(ServiceError):
-            RuntimeConfig(engine="bogus")
+            RuntimeConfig(engine="bogus")  # replint: ignore[REP003]
 
     def test_shim_importable_from_runtime(self):
         from repro.runtime import RuntimeConfig as FromRuntime

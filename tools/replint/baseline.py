@@ -1,0 +1,64 @@
+"""Committed baseline: grandfathered findings that do not fail the run.
+
+The baseline file (``tools/replint/baseline.json``) holds a list of
+``{"rule": ..., "path": ..., "line": ...}`` entries.  A finding whose
+``(rule, path, line)`` key appears in the baseline is reported as
+suppressed-by-baseline and does not affect the exit code.  The intent is
+a ratchet: the committed baseline stays empty (or near-empty), and
+``--write-baseline`` exists for the rare migration where a new rule lands
+before its last violations are fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .core import Finding, LintError
+
+__all__ = ["BASELINE_NAME", "load_baseline", "split_baseline", "write_baseline"]
+
+BASELINE_NAME = "baseline.json"
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent / BASELINE_NAME
+
+
+def load_baseline(path: Path) -> frozenset[tuple[str, str, int]]:
+    """The set of grandfathered ``(rule, path, line)`` keys."""
+    if not path.exists():
+        return frozenset()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"unreadable baseline {path}: {exc}") from exc
+    entries = payload.get("findings", []) if isinstance(payload, dict) else payload
+    keys: set[tuple[str, str, int]] = set()
+    for entry in entries:
+        try:
+            keys.add((str(entry["rule"]), str(entry["path"]), int(entry["line"])))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LintError(f"malformed baseline entry in {path}: {entry!r}") from exc
+    return frozenset(keys)
+
+
+def split_baseline(
+    findings: list[Finding], baseline: frozenset[tuple[str, str, int]]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into ``(new, grandfathered)``."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.key in baseline else new).append(finding)
+    return new, old
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    payload = {
+        "note": "grandfathered replint findings; keep this list shrinking",
+        "findings": [
+            {"rule": f.rule_id, "path": f.path, "line": f.line} for f in findings
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

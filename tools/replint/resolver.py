@@ -1,0 +1,189 @@
+"""Symbol and import resolution shared by every rule.
+
+Two layers:
+
+* :class:`ImportResolver` — per file: maps local names through the file's
+  imports so a rule can ask "what dotted origin does this call have?"
+  (``np.random.default_rng`` → ``numpy.random.default_rng`` regardless of
+  the alias used).
+* :class:`ProjectContext` — per run: cross-module constants extracted by
+  parsing the defining modules' ASTs (never importing them), so the lint
+  pass works without the package importable and cannot be fooled by
+  import-time side effects:
+
+  - the event-kind vocabulary from ``src/repro/obs/events.py``
+    (``EVENT_KINDS`` plus ``EVENT_SCHEMA`` keys);
+  - the registered engine names per kind from
+    ``src/repro/api/registry.py`` (the ``registry.register(KIND_X, "name",
+    ...)`` calls, with the ``KIND_*`` constants resolved from the same
+    module).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+__all__ = ["ImportResolver", "ProjectContext", "find_repo_root"]
+
+
+def find_repo_root(start: Path | None = None) -> Path:
+    """The repo root: nearest ancestor of this file holding ``src/repro``."""
+    here = start if start is not None else Path(__file__).resolve()
+    for candidate in [here, *here.parents]:
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return Path.cwd()
+
+
+class ImportResolver:
+    """Resolve a file's names through its import table.
+
+    ``dotted(node)`` renders a ``Name``/``Attribute``/``Call``-func chain
+    as a dotted string with the *leading* segment substituted by its
+    import origin when known: after ``import numpy as np``,
+    ``np.random.rand`` resolves to ``numpy.random.rand``; after
+    ``from multiprocessing import shared_memory``,
+    ``shared_memory.SharedMemory`` resolves to
+    ``multiprocessing.shared_memory.SharedMemory``.  Unresolvable bases
+    (``self.tracer...``) keep their literal spelling.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.modules: dict[str, str] = {}
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname is None and "." in alias.name:
+                        # ``import a.b`` binds ``a`` but makes a.b usable.
+                        self.modules[alias.name.split(".")[0]] = alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: origin unknowable here
+                    continue
+                base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.names[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+
+    # ------------------------------------------------------------------
+    def dotted(self, node: ast.AST) -> str | None:
+        """The dotted origin of an attribute/name chain, or ``None``."""
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        head = parts[0]
+        if head in self.names:
+            parts[0:1] = self.names[head].split(".")
+        elif head in self.modules:
+            parts[0:1] = self.modules[head].split(".")
+        return ".".join(parts)
+
+
+class ProjectContext:
+    """Cross-module constants extracted from the repo's contract modules."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.event_kinds = self._extract_event_kinds()
+        self.registry_names = self._extract_registry_names()
+
+    # ------------------------------------------------------------------
+    def _extract_event_kinds(self) -> frozenset[str]:
+        path = self.root / "src" / "repro" / "obs" / "events.py"
+        kinds: set[str] = set()
+        tree = self._parse(path)
+        if tree is None:
+            return frozenset()
+        for node in ast.walk(tree):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "EVENT_KINDS" and isinstance(
+                    value, (ast.Tuple, ast.List, ast.Set)
+                ):
+                    kinds.update(
+                        element.value
+                        for element in value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    )
+                elif target.id == "EVENT_SCHEMA" and isinstance(value, ast.Dict):
+                    kinds.update(
+                        key.value
+                        for key in value.keys
+                        if isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                    )
+        return frozenset(kinds)
+
+    # ------------------------------------------------------------------
+    def _extract_registry_names(self) -> dict[str, frozenset[str]]:
+        path = self.root / "src" / "repro" / "api" / "registry.py"
+        tree = self._parse(path)
+        if tree is None:
+            return {}
+        # KIND_AGGREGATION = "aggregation" style module constants.
+        kind_constants: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Constant
+            ):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id.startswith("KIND_")
+                        and isinstance(node.value.value, str)
+                    ):
+                        kind_constants[target.id] = node.value.value
+        names: dict[str, set[str]] = {}
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "register"
+                and len(node.args) >= 2
+            ):
+                continue
+            kind_arg, name_arg = node.args[0], node.args[1]
+            if isinstance(kind_arg, ast.Name):
+                kind = kind_constants.get(kind_arg.id)
+            elif isinstance(kind_arg, ast.Constant) and isinstance(
+                kind_arg.value, str
+            ):
+                kind = kind_arg.value
+            else:
+                kind = None
+            if kind is None:
+                continue
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                names.setdefault(kind, set()).add(name_arg.value)
+        return {kind: frozenset(found) for kind, found in names.items()}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse(path: Path) -> ast.AST | None:
+        try:
+            return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except (OSError, SyntaxError):
+            return None
