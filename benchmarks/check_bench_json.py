@@ -12,7 +12,9 @@ Some families carry extra structural requirements (``SPECIAL_FAMILIES``):
 ``runtime.parallel`` selects the process-parallel scaling rows — records
 named ``cluster.parallel_k<N>`` — and requires each to declare a numeric
 ``workers`` field in its workload, so a scaling row can never silently
-drop the worker count it was measured at.
+drop the worker count it was measured at.  ``runtime.delta`` selects the
+dirty-set re-planning rows (``delta.*``) and requires numeric
+``live_groups`` / ``dirty_fraction`` workload fields for the same reason.
 
 Checks structure only — never timing thresholds — so the CI smoke job can
 assert the harness works without becoming a flaky performance gate.  Exits
@@ -37,6 +39,13 @@ SPECIAL_FAMILIES: dict[tuple[str, str], dict] = {
     ("runtime", "parallel"): {
         "name_prefix": "cluster.parallel_k",
         "required_workload": ("workers",),
+    },
+    # Delta re-planning rows must say what pool they were measured at — a
+    # speedup claim without the live-group count and dirty fraction is
+    # uninterpretable.
+    ("runtime", "delta"): {
+        "name_prefix": "delta.",
+        "required_workload": ("live_groups", "dirty_fraction"),
     },
 }
 

@@ -109,6 +109,11 @@ def _print_registry() -> None:
     print("runtime subcommands (see --help of each):")
     for name, description in RUNTIME_COMMANDS.items():
         print(f"{name.ljust(width)}  {description}")
+    from .api import default_registry
+
+    print()
+    print("registry (kind  name  [capabilities]  description):")
+    print(default_registry().render())
 
 
 # ----------------------------------------------------------------------
@@ -161,6 +166,18 @@ def _runtime_parser(command: str) -> argparse.ArgumentParser:
     parser.add_argument(
         "--trigger-imbalance", type=float, default=2000.0,
         help="unscheduled kWh that force a scheduling run",
+    )
+    parser.add_argument(
+        "--trigger", metavar="SPEC", action="append", default=None,
+        help="trigger policy spec 'kind' or 'kind:key=val,...' by registry "
+        "name (e.g. 'count:threshold=100', 'adaptive:target_p95_slices=8'); "
+        "repeatable — multiple specs combine with the 'any' composite and "
+        "replace the default count/age/imbalance triple",
+    )
+    parser.add_argument(
+        "--target-p95-slices", type=float, default=None,
+        help="closed-loop latency target: auto-tune the BRP trigger "
+        "thresholds and the TSO re-run cooldown toward this p95 (slices)",
     )
     parser.add_argument(
         "--min-run-interval", type=float, default=2.0,
@@ -331,6 +348,42 @@ def _load_config_file(
     return None
 
 
+def _parse_trigger_spec(spec: str):
+    """``'kind'`` or ``'kind:key=val,...'`` to a :func:`build_trigger` mapping.
+
+    Values parse as int, then float, then bool literal, else string; the
+    kind itself is validated downstream against the trigger registry so the
+    rejection message always carries the known name set.
+    """
+    from .core.errors import ServiceError
+
+    kind, _, params = spec.partition(":")
+    kind = kind.strip()
+    if not kind:
+        raise ServiceError(f"empty trigger kind in spec {spec!r}")
+    mapping: dict = {"kind": kind}
+    if params:
+        for pair in params.split(","):
+            key, eq, raw = pair.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ServiceError(
+                    f"bad trigger spec {spec!r}: expected 'kind:key=val,...'"
+                    f", got parameter {pair!r}"
+                )
+            raw = raw.strip()
+            value: object
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = {"true": True, "false": False}.get(raw.lower(), raw)
+            mapping[key] = value
+    return mapping
+
+
 def _run_runtime(command: str, argv: list[str]) -> int:
     from .api import (
         KIND_AGGREGATION,
@@ -466,6 +519,18 @@ def _run_runtime(command: str, argv: list[str]) -> int:
                 return EXIT_UNKNOWN_EXPERIMENT
 
     try:
+        trigger_spec = (
+            [_parse_trigger_spec(spec) for spec in args.trigger]
+            if args.trigger
+            else [
+                {"kind": "count", "threshold": args.trigger_count},
+                {"kind": "age", "max_age_slices": args.trigger_age},
+                {
+                    "kind": "imbalance",
+                    "threshold_kwh": args.trigger_imbalance,
+                },
+            ]
+        )
         config = ServiceConfig(
             aggregation=AggregationConfig(
                 engine=args.engine, shards=args.shards
@@ -474,18 +539,10 @@ def _run_runtime(command: str, argv: list[str]) -> int:
                 horizon_slices=args.horizon,
                 scheduler=args.scheduler,
                 scheduler_passes=args.passes,
-                trigger=build_trigger(
-                    [
-                        {"kind": "count", "threshold": args.trigger_count},
-                        {"kind": "age", "max_age_slices": args.trigger_age},
-                        {
-                            "kind": "imbalance",
-                            "threshold_kwh": args.trigger_imbalance,
-                        },
-                    ]
-                ),
+                trigger=build_trigger(trigger_spec),
                 min_run_interval_slices=args.min_run_interval,
                 seed=args.seed,
+                target_p95_slices=args.target_p95_slices,
             ),
             ingest=IngestConfig(batch_size=args.batch),
         )
@@ -655,6 +712,20 @@ def _run_cluster(
         cluster_config = ClusterConfig.from_dict(spec, base=config)
     else:
         cluster_config = ClusterConfig.uniform(args.brps, config)
+    if (
+        args.target_p95_slices is not None
+        and cluster_config.tso.target_p95_slices is None
+    ):
+        # The latency target reaches both tiers: a --cluster file's tso
+        # section wins where it speaks, the flag fills the gap.
+        import dataclasses
+
+        cluster_config = dataclasses.replace(
+            cluster_config,
+            tso=dataclasses.replace(
+                cluster_config.tso, target_p95_slices=args.target_p95_slices
+            ),
+        )
     if args.bus_retries > 0:
         import dataclasses
 

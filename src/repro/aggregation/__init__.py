@@ -33,7 +33,13 @@ from .metrics import AggregationQuality, evaluate_aggregation
 from .pipeline import AggregationPipeline, aggregate_from_scratch, make_pipeline
 from .reference import ReferenceAggregator, ReferenceGroupState
 from .thresholds import P0, P1, P2, P3, AggregationParameters, paper_combinations
-from .updates import AggregateUpdate, FlexOfferUpdate, GroupUpdate, UpdateKind
+from .updates import (
+    AggregateUpdate,
+    DirtySet,
+    FlexOfferUpdate,
+    GroupUpdate,
+    UpdateKind,
+)
 
 __all__ = [
     "AggregatedFlexOffer",
@@ -62,6 +68,7 @@ __all__ = [
     "P2",
     "P3",
     "AggregateUpdate",
+    "DirtySet",
     "FlexOfferUpdate",
     "GroupUpdate",
     "UpdateKind",

@@ -47,7 +47,7 @@ from .binpacking import BinPackerBounds, first_fit_bins
 from .grouping import GroupBuilder, cell_columns, partition_cells
 from .pipeline import _gc_paused
 from .thresholds import AggregationParameters
-from .updates import AggregateUpdate, FlexOfferUpdate, UpdateKind
+from .updates import AggregateUpdate, DirtySet, FlexOfferUpdate, UpdateKind
 
 __all__ = [
     "PackedPool",
@@ -585,6 +585,8 @@ class PackedAggregationPipeline:
         # and the current packing, as ordered member-id tuples per subgroup.
         self._cell_members: dict[str, dict[int, FlexOffer]] = {}
         self._packings: dict[str, list[tuple[int, ...]]] = {}
+        #: Group ids the most recent :meth:`run` created/changed/deleted.
+        self.last_dirty = DirtySet()
 
     # ------------------------------------------------------------------
     # accumulation (interface parity with AggregationPipeline)
@@ -636,7 +638,9 @@ class PackedAggregationPipeline:
         rate would otherwise distort the maintenance cost.
         """
         with _gc_paused():
-            return self._run()
+            updates = self._run()
+        self.last_dirty = DirtySet.from_updates(updates)
+        return updates
 
     def _run(self) -> list[AggregateUpdate]:
         pending, self._pending = self._pending, []

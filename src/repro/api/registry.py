@@ -226,6 +226,12 @@ def _exhaustive_scheduler(**kwargs):
     return ExhaustiveScheduler(**kwargs)
 
 
+def _delta_scheduler(**kwargs):
+    from ..scheduling import DeltaScheduler
+
+    return DeltaScheduler(**kwargs)
+
+
 def _count_trigger(threshold):
     from ..runtime.triggers import CountTrigger
 
@@ -248,6 +254,12 @@ def _any_trigger(policies):
     from ..runtime.triggers import AnyTrigger
 
     return AnyTrigger(policies)
+
+
+def _adaptive_trigger(target_p95_slices, **kwargs):
+    from ..runtime.triggers import AdaptiveTrigger
+
+    return AdaptiveTrigger(target_p95_slices, **kwargs)
 
 
 def _simulated_driver(**kwargs):
@@ -330,6 +342,11 @@ def _register_builtins(registry: Registry) -> Registry:
         capabilities=("exact",),
     )
     registry.register(
+        KIND_SCHEDULER, "delta", _delta_scheduler,
+        description="dirty-set re-planning over a retained plan (one pass)",
+        capabilities=("runtime", "delta"),
+    )
+    registry.register(
         KIND_TRIGGER, "count", _count_trigger,
         description="fire after N offers since the last run",
     )
@@ -345,6 +362,11 @@ def _register_builtins(registry: Registry) -> Registry:
         KIND_TRIGGER, "any", _any_trigger,
         description="composite: fire when any member policy fires",
         capabilities=("composite",),
+    )
+    registry.register(
+        KIND_TRIGGER, "adaptive", _adaptive_trigger,
+        description="count/age thresholds auto-tuned toward a target p95",
+        capabilities=("adaptive",),
     )
     registry.register(
         KIND_DRIVER, "simulated", _simulated_driver,

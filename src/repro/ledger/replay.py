@@ -219,13 +219,12 @@ def project(client, events: list[dict]) -> ReplayStats:
 
     now_slice = service.now_slice
     store = service.store
-    with ledger.suspended():
+    with ledger.suspended(), service.scheduling_suspended():
         ledger.replaying = True
         # Re-admission must not fire scheduling triggers: committed starts
         # come from the journal, not from a re-plan over a half-rebuilt
-        # pool.  Parking the cooldown clock at +inf gates every non-forced
-        # run; it restarts at the resume instant once the fold is done.
-        service._last_run_time = float("inf")
+        # pool.  scheduling_suspended() parks the cooldown clock at +inf,
+        # gating every non-forced run until the fold is done.
         try:
             # Re-admit survivors through the full ingest path (dimension
             # rows registered, lifecycle re-recorded, pool rebuilt).
@@ -259,7 +258,6 @@ def project(client, events: list[dict]) -> ReplayStats:
                 )
         finally:
             ledger.replaying = False
-            service._last_run_time = service.now
     _finish(client, stats)
     return stats
 

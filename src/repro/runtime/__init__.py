@@ -74,6 +74,8 @@ from .metrics import (
 from .service import BrpRuntimeService, RuntimeReport
 from .sharding import ShardedFlexOfferIngest
 from .triggers import (
+    AdaptiveCooldown,
+    AdaptiveTrigger,
     AgeTrigger,
     AnyTrigger,
     CountTrigger,
@@ -83,6 +85,8 @@ from .triggers import (
 )
 
 __all__ = [
+    "AdaptiveCooldown",
+    "AdaptiveTrigger",
     "AgeTrigger",
     "AggregationConfig",
     "AnyTrigger",

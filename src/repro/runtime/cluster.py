@@ -61,6 +61,8 @@ from ..scheduling import SchedulingProblem, SchedulingResult
 from .config import MarketConfig, ServiceConfig, _runtime_parameters
 from .drivers import SimulatedDriver, TimeDriver, sim_clock
 from .metrics import MetricsRegistry, aggregate_registries
+from .planning import PlanSession
+from .triggers import AdaptiveCooldown
 from .service import (
     RuntimeReport,
     _flat_market,
@@ -420,6 +422,14 @@ class TsoConfig:
     """BRP macro-snapshot refreshes that trigger a TSO scheduling run."""
     min_run_interval_slices: float = 4.0
     """Cooldown between TSO runs, bounding re-plan thrash."""
+    target_p95_slices: float | None = None
+    """Closed-loop staleness target (p95 of snapshot wait, in slices).
+
+    When set, an :class:`~repro.runtime.triggers.AdaptiveCooldown` owns
+    mutable copies of ``trigger_refreshes`` / ``min_run_interval_slices``
+    and steers them toward this target; the configured values become the
+    relaxation rails.
+    """
     parameters: AggregationParameters = field(
         default_factory=_runtime_parameters
     )
@@ -439,6 +449,8 @@ class TsoConfig:
             raise ServiceError("trigger_refreshes must be positive")
         if self.min_run_interval_slices < 0:
             raise ServiceError("min_run_interval_slices must be non-negative")
+        if self.target_p95_slices is not None and self.target_p95_slices <= 0:
+            raise ServiceError("target_p95_slices must be positive")
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TsoConfig":
@@ -621,6 +633,22 @@ class TsoRuntimeService:
         self._pending_refreshes = 0
         self._last_run_time = -math.inf
         self.last_plan_cost = float("nan")
+        # Same planning seam as the BRP tier: warm-start cache + dirty set,
+        # keyed by the super-aggregate's member-macro-id join.
+        self.session = PlanSession()
+        #: key -> keys of the last plan containing each BRP's macros.
+        self._keys_by_brp: dict[str, set[str]] = {}
+        #: Sim arrival time of each snapshot refresh still awaiting a run.
+        self._refresh_arrivals: list[float] = []
+        self._cooldown = (
+            AdaptiveCooldown(
+                self.config.target_p95_slices,
+                trigger_refreshes=self.config.trigger_refreshes,
+                min_run_interval_slices=self.config.min_run_interval_slices,
+            )
+            if self.config.target_p95_slices is not None
+            else None
+        )
         adapter.register(name, self.handle_message)
 
     # ------------------------------------------------------------------
@@ -659,7 +687,14 @@ class TsoRuntimeService:
         self._macros_by_brp[brp] = fresh
         for offer_id in fresh:
             self._macro_home[offer_id] = brp
+        # Only this sender's part of the plan is dirtied: every retained
+        # super-aggregate containing one of its macros must be re-placed
+        # (same macro id can reappear with a changed profile), while supers
+        # built purely from other BRPs' macros stay clean.
+        touched = self._keys_by_brp.pop(brp, set())
+        self.session.mark_dirty(touched)
         self._pending_refreshes += 1
+        self._refresh_arrivals.append(self.now)
         self.metrics.counter("tso.macro_snapshots").inc()
         self.metrics.counter("tso.macros_received").inc(len(fresh))
         self.metrics.gauge("tso.macro_pool").set(self.macro_count)
@@ -681,9 +716,12 @@ class TsoRuntimeService:
     def maybe_schedule(self, force: bool = False) -> SchedulingResult | None:
         """Run system-wide scheduling when enough snapshots refreshed."""
         if not force:
-            if self._pending_refreshes < self.config.trigger_refreshes:
+            # The adaptive cooldown (when configured) owns the effective
+            # thresholds; the static config values are its relaxation rails.
+            gate = self._cooldown if self._cooldown is not None else self.config
+            if self._pending_refreshes < gate.trigger_refreshes:
                 return None
-            if self.now - self._last_run_time < self.config.min_run_interval_slices:
+            if self.now - self._last_run_time < gate.min_run_interval_slices:
                 return None
         return self.run_scheduling()
 
@@ -691,6 +729,10 @@ class TsoRuntimeService:
         """One system-wide run over the eligible macro pool."""
         self._last_run_time = self.now
         self._pending_refreshes = 0
+        wait = self.metrics.histogram("tso.refresh_wait_slices")
+        for arrival in self._refresh_arrivals:
+            wait.observe(self.now - arrival)
+        self._refresh_arrivals.clear()
         self.metrics.counter("tso.runs").inc()
         t0 = time.perf_counter()
         with self.tracer.span(
@@ -700,7 +742,24 @@ class TsoRuntimeService:
         self.metrics.histogram(
             "stage.wall_seconds", labels={"brp": self.name, "stage": "schedule"}
         ).observe(time.perf_counter() - t0)
+        self._observe_cooldown()
         return result
+
+    def _observe_cooldown(self) -> None:
+        """One control step of the adaptive cooldown (no-op when static)."""
+        if self._cooldown is None:
+            return
+        record = self._cooldown.observe(self.metrics)
+        if record is None:
+            return
+        self.metrics.counter("trigger.adaptive_adjustments").inc()
+        if self.tracer.enabled:
+            self.tracer.trigger_event(
+                node=self.name,
+                fired=[type(self._cooldown).__name__],
+                decision=False,
+                detail={"adjustment": record},
+            )
 
     def _schedule_macros(self, span) -> SchedulingResult | None:
         """The planning body of :meth:`run_scheduling` (inside its span)."""
@@ -744,12 +803,23 @@ class TsoRuntimeService:
         # original, whose member offsets anchor at the unclipped start.
         supers = []
         offers = []
+        keys = []
         for original in sorted(pipeline.aggregates, key=lambda a: a.offer_id):
             aggregate = eligible_for_window(original, start, end)
             if aggregate is None:
                 continue
             supers.append(original)
             offers.append(aggregate)
+            # Stable identity across runs: the sorted member-macro-id join.
+            # An unchanged fleet re-aggregates into the same supers, so the
+            # keys recur and clean placements can be retained; any pool
+            # change materialises new keys, which are re-placed as new.
+            keys.append(
+                "|".join(
+                    str(mid)
+                    for mid in sorted(m.offer_id for m in original.members)
+                )
+            )
         if not offers:
             self.metrics.counter("tso.empty_runs").inc()
             return None
@@ -765,12 +835,33 @@ class TsoRuntimeService:
             surplus_penalty=np.array(self.config.market.surplus_penalty),
         )
         t0 = time.perf_counter()
-        result = self.scheduler.schedule(
-            problem, max_passes=self.config.scheduler_passes, rng=self._rng
+        result = self.session.plan(
+            problem,
+            list(zip(keys, offers)),
+            self.scheduler,
+            passes=self.config.scheduler_passes,
+            rng=self._rng,
         )
         self.metrics.histogram("tso.run_seconds").observe(
             time.perf_counter() - t0
         )
+        if self.session.last_mode == "delta":
+            self.metrics.counter("delta.runs").inc()
+            self.metrics.counter("delta.reused_placements").inc(
+                self.session.last_reused
+            )
+            self.metrics.counter("delta.replaced_placements").inc(
+                self.session.last_replaced
+            )
+        elif "delta" in getattr(self.scheduler, "capabilities", frozenset()):
+            self.metrics.counter("delta.full_fallbacks").inc()
+        # Refresh the reverse index driving per-sender dirty marking.
+        self._keys_by_brp = {}
+        for key, original in zip(keys, supers):
+            for member in original.members:
+                home = self._macro_home.get(member.offer_id)
+                if home is not None:
+                    self._keys_by_brp.setdefault(home, set()).add(key)
         self.last_plan_cost = float(result.cost)
         self.metrics.gauge("tso.last_cost", merge="last").set(result.cost)
 

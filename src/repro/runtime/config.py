@@ -116,12 +116,21 @@ class SchedulingConfig:
     """Cooldown between scheduling runs, bounding trigger thrash."""
     seed: int = 0
     """Seed of the scheduler RNG (the load generator has its own)."""
+    target_p95_slices: float | None = None
+    """Closed-loop latency target (p95 of offer end-to-end slices).
+
+    When set and no explicit adaptive policy is configured, the service
+    replaces ``trigger`` with an :class:`~repro.runtime.triggers.AdaptiveTrigger`
+    steering its count/age thresholds toward this target.
+    """
 
     def __post_init__(self) -> None:
         if self.horizon_slices <= 0:
             raise ServiceError("horizon_slices must be positive")
         if self.scheduler_passes <= 0:
             raise ServiceError("scheduler_passes must be positive")
+        if self.target_p95_slices is not None and self.target_p95_slices <= 0:
+            raise ServiceError("target_p95_slices must be positive")
         # RegistryError is a ServiceError; the registry owns the single
         # copy of the capability check and its message.
         default_registry().require_capability(
@@ -246,6 +255,10 @@ class ServiceConfig:
         return self.scheduling.seed
 
     @property
+    def target_p95_slices(self) -> float | None:
+        return self.scheduling.target_p95_slices
+
+    @property
     def buy_price(self) -> float:
         return self.market.buy_price
 
@@ -284,6 +297,7 @@ class ServiceConfig:
         "trigger": ("scheduling", "trigger"),
         "min_run_interval_slices": ("scheduling", "min_run_interval_slices"),
         "seed": ("scheduling", "seed"),
+        "target_p95_slices": ("scheduling", "target_p95_slices"),
         "buy_price": ("market", "buy_price"),
         "sell_price": ("market", "sell_price"),
         "shortage_penalty": ("market", "shortage_penalty"),

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..aggregation.pipeline import AggregationPipeline
-from ..aggregation.updates import AggregateUpdate, FlexOfferUpdate
+from ..aggregation.updates import AggregateUpdate, DirtySet, FlexOfferUpdate
 from ..core.flexoffer import FlexOffer
 from ..datamgmt.mirabel import LedmsStore
 from .metrics import MetricsRegistry
@@ -62,6 +62,8 @@ class FlexOfferIngest:
         self.actor_role = actor_role
         self._pending = 0
         self._batch: list[FlexOffer] = []
+        #: Dirty group ids reported by the most recent :meth:`flush`.
+        self.last_dirty = DirtySet()
 
     # ------------------------------------------------------------------
     @property
@@ -161,10 +163,12 @@ class FlexOfferIngest:
     def flush(self, now: int) -> list[AggregateUpdate]:
         """Run the pipeline over the accumulated batch; return its updates."""
         if self._pending == 0:
+            self.last_dirty = DirtySet()
             return []
         batch, self._batch = self._batch, []
         self._pending = 0
         updates = self.pipeline.run()
+        self.last_dirty = self.pipeline.last_dirty
         for offer in batch:
             self._record(offer, "aggregated", now)
         self.metrics.counter("ingest.flushes").inc()

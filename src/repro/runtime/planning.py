@@ -1,0 +1,172 @@
+"""PlanSession: the shared seam between full and delta planners.
+
+``BrpRuntimeService._schedule_pool`` used to own a warm-start cache as a
+loose dict and re-derive "what changed" implicitly; the TSO tier had
+neither.  :class:`PlanSession` makes the per-planner state explicit — the
+warm-start cache, the dirty key set accumulated from the aggregation
+pipeline's per-flush :class:`~repro.aggregation.updates.DirtySet`, and the
+problem window — and routes one :meth:`plan` call either through a
+delta-capable scheduler (handing it a
+:class:`~repro.scheduling.delta.DeltaRequest`) or through the classic
+warm-started path.  Both runtime tiers (BRP and TSO) drive their
+schedulers through one session each, so swapping ``--scheduler delta`` in
+changes nothing but the planner.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..aggregation.updates import DirtySet
+from ..scheduling.delta import DeltaRequest
+from ..scheduling.problem import CandidateSolution, SchedulingProblem
+from ..scheduling.result import SchedulingResult
+
+__all__ = ["PlanSession"]
+
+
+class _PlannedOffer(Protocol):
+    """What :meth:`PlanSession.warm_candidate` needs from a pool offer."""
+
+    duration: int
+    earliest_start: int
+    latest_start: int
+
+    @property
+    def profile(self): ...
+
+
+class PlanSession:
+    """Warm-start cache + dirty set + problem window for one planner.
+
+    Keys are stable identities for pool entries across runs: aggregate
+    group ids at the BRP tier, member-macro id joins at the TSO tier.
+    """
+
+    def __init__(self) -> None:
+        #: key -> (absolute start slice, per-slice energies) of the last plan.
+        self.warm: dict[str, tuple[int, np.ndarray]] = {}
+        #: Keys created/changed since the last successful :meth:`plan`.
+        self.dirty: set[str] = set()
+        #: ``(start, end)`` horizon of the last planned problem.
+        self.window: tuple[int, int] | None = None
+        # Introspection for the service's metrics, refreshed per plan():
+        self.last_mode = "cold"
+        self.last_reused = 0
+        self.last_replaced = 0
+        self.last_warm_started = False
+
+    # ------------------------------------------------------------------
+    def absorb(self, dirty: DirtySet) -> None:
+        """Fold one flush's dirty set into the session.
+
+        Deleted keys leave the warm cache immediately (their aggregates are
+        gone from the pool); created/changed keys accumulate until the next
+        :meth:`plan` consumes them.
+        """
+        self.dirty |= dirty.group_ids
+        for key in dirty.deleted:
+            self.warm.pop(key, None)
+
+    def mark_dirty(self, keys) -> None:
+        """Mark keys dirty directly (the TSO's per-sender snapshot diff)."""
+        self.dirty.update(keys)
+
+    def evict(self, key: str) -> None:
+        """Drop one key's warm placement (e.g. its macro was replaced)."""
+        self.warm.pop(key, None)
+
+    # ------------------------------------------------------------------
+    def warm_candidate(
+        self, eligible: Sequence[tuple[str, _PlannedOffer]]
+    ) -> CandidateSolution | None:
+        """Previous plan projected onto the current pool (None if all new).
+
+        Per entry: a prior placement whose duration still matches is
+        clipped into the offer's current start window and energy bounds;
+        entries without a usable prior fall back to the earliest-start /
+        minimum-energy placement.  When *no* entry has a usable prior the
+        candidate is pure default and not worth an extra solver pass.
+        """
+        starts: list[int] = []
+        energies: list[np.ndarray] = []
+        any_warm = False
+        for key, offer in eligible:
+            prior = self.warm.get(key)
+            if prior is not None and len(prior[1]) == offer.duration:
+                start = int(
+                    np.clip(prior[0], offer.earliest_start, offer.latest_start)
+                )
+                values = np.clip(
+                    prior[1],
+                    offer.profile.min_array,
+                    offer.profile.max_array,
+                )
+                any_warm = True
+            else:
+                start = offer.earliest_start
+                values = np.array(offer.profile.min_energies())
+            starts.append(start)
+            energies.append(values)
+        if not any_warm:
+            return None
+        return CandidateSolution(np.array(starts, dtype=np.int64), energies)
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        problem: SchedulingProblem,
+        eligible: Sequence[tuple[str, _PlannedOffer]],
+        scheduler,
+        *,
+        passes: int,
+        rng: np.random.Generator,
+    ) -> SchedulingResult:
+        """One planning run through the session.
+
+        A scheduler advertising the ``delta`` capability receives a
+        :class:`DeltaRequest` built from the accumulated dirty set; any
+        other scheduler gets the classic warm-start seeding.  On return the
+        warm cache reflects the committed plan for every key, the dirty set
+        is drained, and ``last_mode`` / ``last_reused`` / ``last_replaced``
+        describe what the planner actually did.
+        """
+        window = (problem.horizon_start, problem.horizon_end)
+        keys = tuple(key for key, _ in eligible)
+        capabilities = getattr(scheduler, "capabilities", frozenset())
+        self.last_warm_started = False
+        if "delta" in capabilities:
+            request = DeltaRequest(
+                keys=keys,
+                dirty=frozenset(self.dirty),
+                window_start=problem.horizon_start,
+            )
+            result = scheduler.schedule(
+                problem, max_passes=passes, rng=rng, delta=request
+            )
+            stats = getattr(scheduler, "last_stats", {})
+            self.last_mode = str(stats.get("mode", "delta"))
+            self.last_reused = int(stats.get("reused", 0))
+            self.last_replaced = int(stats.get("replaced", len(keys)))
+        else:
+            warm = self.warm_candidate(eligible)
+            result = scheduler.schedule(
+                problem,
+                max_passes=passes + (1 if warm is not None else 0),
+                rng=rng,
+                warm_start=warm,
+            )
+            self.last_mode = "warm" if warm is not None else "cold"
+            self.last_warm_started = warm is not None
+            self.last_reused = 0
+            self.last_replaced = len(keys)
+
+        for key, start, energies in zip(
+            keys, result.solution.starts, result.solution.energies
+        ):
+            self.warm[key] = (int(start), np.asarray(energies).copy())
+        self.dirty.clear()
+        self.window = window
+        return result

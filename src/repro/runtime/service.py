@@ -29,6 +29,7 @@ from __future__ import annotations
 import heapq
 import math
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Iterable, NamedTuple
@@ -47,7 +48,6 @@ from ..ledger.ledger import OfferLedger
 from ..obs.tracing import NullTracer, Tracer
 from ..api.registry import KIND_SCHEDULER, default_registry
 from ..scheduling import (
-    CandidateSolution,
     Market,
     SchedulingProblem,
     SchedulingResult,
@@ -56,8 +56,9 @@ from .config import RuntimeConfig, ServiceConfig
 from .drivers import SimulatedDriver, TimeDriver, sim_clock
 from .ingest import FlexOfferIngest
 from .metrics import Histogram, MetricsRegistry
+from .planning import PlanSession
 from .sharding import ShardedFlexOfferIngest
-from .triggers import AnyTrigger, TriggerContext
+from .triggers import AdaptiveTrigger, AnyTrigger, TriggerContext
 
 __all__ = [
     "RuntimeConfig",
@@ -80,6 +81,16 @@ class SubmitOutcome(NamedTuple):
     accepted: bool
     reason: str | None
     duplicate: bool = False
+
+
+def _adaptive_policies(trigger) -> tuple:
+    """The adaptive members of a trigger policy (empty when static).
+
+    The service calls each member's ``observe`` hook after every scheduling
+    run — the closed loop's only threshold-mutation seam (REP009).
+    """
+    policies = getattr(trigger, "policies", (trigger,))
+    return tuple(p for p in policies if hasattr(p, "observe"))
 
 
 @lru_cache(maxsize=8)
@@ -306,10 +317,22 @@ class BrpRuntimeService:
         self._stream_overflow: tuple[Iterable, float, FlexOffer] | None = None
         self._arrival_sim: dict[int, float] = {}
         self._arrival_wall: dict[int, float] = {}
-        self._warm: dict[str, tuple[int, np.ndarray]] = {}
+        #: The planning seam shared by full and delta schedulers: warm-start
+        #: cache, dirty key set, and the problem window live here.
+        self.session = PlanSession()
         self._offers_since_run = 0
         self._last_run_time = -math.inf
         self._rng = np.random.default_rng(self.config.seed)
+        #: The effective trigger policy.  With
+        #: ``SchedulingConfig.target_p95_slices`` set and no adaptive policy
+        #: configured explicitly, the closed-loop default replaces the
+        #: static composite (the adaptive policy owns count+age semantics).
+        target = self.config.scheduling.target_p95_slices
+        trigger = self.config.trigger
+        if target is not None and not _adaptive_policies(trigger):
+            trigger = AdaptiveTrigger(target)
+        self.trigger = trigger
+        self._adaptive = _adaptive_policies(trigger)
         # Running trigger-context state, so per-arrival trigger evaluation
         # stays O(1) instead of scanning every live offer: total magnitude
         # of unscheduled energy plus an arrival-ordered heap for the oldest
@@ -517,9 +540,12 @@ class BrpRuntimeService:
             for update in updates:
                 if update.kind is UpdateKind.DELETED:
                     self.pool.pop(update.group_id, None)
-                    self._warm.pop(update.group_id, None)
                 else:
                     self.pool[update.group_id] = update
+            # The pipeline reported which groups this flush touched; the
+            # session accumulates them for the next delta-planning run
+            # (and evicts deleted groups from the warm-start cache).
+            self.session.absorb(self.ingest.last_dirty)
         elapsed = time.perf_counter() - t0
         self.metrics.counter("aggregate.runs").inc()
         self.metrics.histogram("aggregate.batch_seconds").observe(elapsed)
@@ -552,13 +578,29 @@ class BrpRuntimeService:
             unscheduled_energy_kwh=max(0.0, self._unscheduled_energy),
         )
 
+    @contextmanager
+    def scheduling_suspended(self):
+        """Gate every non-forced scheduling run for the ``with`` body.
+
+        Parks the trigger cooldown clock at ``+inf`` and restarts it at the
+        current instant on exit — the seam ledger replay uses so
+        re-admission cannot fire triggers over a half-rebuilt pool.  This
+        is the only sanctioned way to touch the cadence state from outside
+        the service (replint rule REP009).
+        """
+        self._last_run_time = float("inf")
+        try:
+            yield
+        finally:
+            self._last_run_time = self.now
+
     def maybe_schedule(self, force: bool = False) -> SchedulingResult | None:
         """Run scheduling if the trigger policy fires (or ``force``)."""
         if not force:
             if self.now - self._last_run_time < self.config.min_run_interval_slices:
                 return None
             context = self._trigger_context()
-            trigger = self.config.trigger
+            trigger = self.trigger
             if isinstance(trigger, AnyTrigger):
                 fired = trigger.fired_names(context)  # one evaluation pass
                 if not fired:
@@ -592,8 +634,35 @@ class BrpRuntimeService:
         t0 = time.perf_counter()
         with self._stage("schedule"):
             result = self._schedule_pool()
-        self._observe_stage("schedule", time.perf_counter() - t0)
+        elapsed = time.perf_counter() - t0
+        self._observe_stage("schedule", elapsed)
+        # ``schedule.run_seconds`` is a documented alias of
+        # ``stage.wall_seconds{stage=schedule}``: one timing pair feeds
+        # both, and the value covers the whole stage (problem build +
+        # solver + disaggregation), not just the solver call.
+        self.metrics.histogram("schedule.run_seconds").observe(elapsed)
+        self._observe_adaptive()
         return result
+
+    def _observe_adaptive(self) -> None:
+        """One control step per adaptive trigger policy, after each run.
+
+        The policies' ``observe`` hook is the only place trigger thresholds
+        change (REP009); the service just reports each adjustment as a
+        trigger event and counts it.
+        """
+        for policy in self._adaptive:
+            record = policy.observe(self.metrics)
+            if record is None:
+                continue
+            self.metrics.counter("trigger.adaptive_adjustments").inc()
+            if self.tracer.enabled:
+                self.tracer.trigger_event(
+                    node=self.name,
+                    fired=[type(policy).__name__],
+                    decision=False,
+                    detail={"adjustment": record},
+                )
 
     def _schedule_pool(self) -> SchedulingResult | None:
         """The planning body of :meth:`run_scheduling` (inside its span)."""
@@ -624,26 +693,27 @@ class BrpRuntimeService:
             shortage_penalty=np.array(self.config.shortage_penalty),
             surplus_penalty=np.array(self.config.surplus_penalty),
         )
-        warm = self._warm_candidate(eligible)
-        t0 = time.perf_counter()
-        result = self.scheduler.schedule(
+        result = self.session.plan(
             problem,
-            max_passes=self.config.scheduler_passes + (1 if warm is not None else 0),
+            eligible,
+            self.scheduler,
+            passes=self.config.scheduler_passes,
             rng=self._rng,
-            warm_start=warm,
-        )
-        self.metrics.histogram("schedule.run_seconds").observe(
-            time.perf_counter() - t0
         )
         self.metrics.gauge("schedule.last_cost", merge="last").set(result.cost)
         self.metrics.gauge("schedule.last_offers", merge="last").set(len(eligible))
-        if warm is not None:
+        if self.session.last_warm_started:
             self.metrics.counter("schedule.warm_started").inc()
-
-        for (gid, _), start_slice, energies in zip(
-            eligible, result.solution.starts, result.solution.energies
-        ):
-            self._warm[gid] = (int(start_slice), np.asarray(energies).copy())
+        if self.session.last_mode == "delta":
+            self.metrics.counter("delta.runs").inc()
+            self.metrics.counter("delta.reused_placements").inc(
+                self.session.last_reused
+            )
+            self.metrics.counter("delta.replaced_placements").inc(
+                self.session.last_replaced
+            )
+        elif "delta" in getattr(self.scheduler, "capabilities", frozenset()):
+            self.metrics.counter("delta.full_fallbacks").inc()
 
         self.last_schedule = problem.to_schedule(result.solution)
         self.last_plan_originals = tuple(originals)
@@ -651,36 +721,6 @@ class BrpRuntimeService:
         for listener in self.plan_listeners:
             listener(result)
         return result
-
-    def _warm_candidate(
-        self, eligible: list[tuple[str, AggregatedFlexOffer]]
-    ) -> CandidateSolution | None:
-        """Previous plan projected onto the current pool (None if all new)."""
-        starts: list[int] = []
-        energies: list[np.ndarray] = []
-        any_warm = False
-        for gid, aggregate in eligible:
-            prior = self._warm.get(gid)
-            if prior is not None and len(prior[1]) == aggregate.duration:
-                start = int(
-                    np.clip(
-                        prior[0], aggregate.earliest_start, aggregate.latest_start
-                    )
-                )
-                values = np.clip(
-                    prior[1],
-                    aggregate.profile.min_array,
-                    aggregate.profile.max_array,
-                )
-                any_warm = True
-            else:
-                start = aggregate.earliest_start
-                values = np.array(aggregate.profile.min_energies())
-            starts.append(start)
-            energies.append(values)
-        if not any_warm:
-            return None
-        return CandidateSolution(np.array(starts, dtype=np.int64), energies)
 
     def _disaggregate(self, schedule, originals) -> None:
         """Commit the aggregate schedule to members; record latencies.

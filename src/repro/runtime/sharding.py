@@ -25,7 +25,7 @@ from typing import Iterable
 from ..aggregation.binpacking import BinPackerBounds
 from ..aggregation.pipeline import make_pipeline
 from ..aggregation.thresholds import AggregationParameters
-from ..aggregation.updates import AggregateUpdate
+from ..aggregation.updates import AggregateUpdate, DirtySet
 from ..core.errors import ServiceError
 from ..core.flexoffer import FlexOffer
 from ..datamgmt.mirabel import LedmsStore
@@ -59,6 +59,8 @@ class ShardedFlexOfferIngest:
         self.batch_size = batch_size
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._shard_of_offer: dict[int, int] = {}
+        #: Dirty group ids merged across shards by the most recent flush.
+        self.last_dirty = DirtySet()
         self.shards = tuple(
             FlexOfferIngest(
                 make_pipeline(parameters, bounds, engine=engine),
@@ -179,9 +181,13 @@ class ShardedFlexOfferIngest:
         group cell), so concatenation *is* the pool merge.
         """
         updates: list[AggregateUpdate] = []
+        dirty = DirtySet()
         for shard in self.shards:
             if shard.pending_updates:
                 updates.extend(shard.flush(now))
+                # Shard group-id spaces are disjoint, so the merge is a union.
+                dirty = dirty.merged(shard.last_dirty)
+        self.last_dirty = dirty
         # Each shard's flush set this gauge to its own pool; report the merged
         # population the way the single-pipeline ingest does.
         self.metrics.gauge("ingest.pool_offers").set(self.input_count)

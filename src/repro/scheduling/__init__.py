@@ -10,6 +10,7 @@ Public API::
     )
 """
 
+from .delta import DeltaRequest, DeltaScheduler
 from .engine import CostEngine, IncrementalCostState, OfferConstants
 from .evolutionary import EvolutionaryScheduler
 from .exhaustive import ExhaustiveScheduler, count_start_combinations
@@ -22,6 +23,8 @@ __all__ = [
     "CostEngine",
     "IncrementalCostState",
     "OfferConstants",
+    "DeltaRequest",
+    "DeltaScheduler",
     "EvolutionaryScheduler",
     "ExhaustiveScheduler",
     "count_start_combinations",

@@ -341,6 +341,24 @@ class TestShardedIngest:
         assert _updates_summary(single.flush(0)) == _updates_summary(sharded.flush(0))
         assert single.input_count == sharded.input_count
 
+    def test_flush_merges_shard_dirty_sets(self):
+        parameters = AggregationParameters(4, 4, name="shard")
+        sharded = ShardedFlexOfferIngest(
+            parameters, shards=4, engine="packed", batch_size=8
+        )
+        offers = [
+            offer
+            for offer in self._offers(40)
+            if sharded.submit(offer, now=0) is not None
+        ]
+        updates = sharded.flush(0)
+        assert sharded.last_dirty.created == {u.group_id for u in updates}
+        assert not sharded.last_dirty.changed
+        assert not sharded.last_dirty.deleted
+        sharded.retire(offers, 0, "expired")
+        updates = sharded.flush(0)
+        assert sharded.last_dirty.deleted == {u.group_id for u in updates}
+
     def test_clipped_offer_retires_from_its_true_home_shard(self):
         """Admission-clipped offers must retire where submit routed them.
 

@@ -33,6 +33,7 @@ from repro.api.config import (
 from repro.core.errors import AggregationError, ServiceError
 from repro.runtime.triggers import AnyTrigger, CountTrigger
 from repro.scheduling import (
+    DeltaScheduler,
     EvolutionaryScheduler,
     ExhaustiveScheduler,
     RandomizedGreedyScheduler,
@@ -50,9 +51,11 @@ class TestRegistry:
             "packed", "reference", "scalar",
         )
         assert registry.names(KIND_SCHEDULER) == (
-            "evolutionary", "exhaustive", "greedy",
+            "delta", "evolutionary", "exhaustive", "greedy",
         )
-        assert registry.names(KIND_TRIGGER) == ("age", "any", "count", "imbalance")
+        assert registry.names(KIND_TRIGGER) == (
+            "adaptive", "age", "any", "count", "imbalance",
+        )
         assert registry.names(KIND_DRIVER) == ("simulated", "wallclock")
 
     def test_unknown_name_error_lists_known_set(self):
@@ -76,6 +79,7 @@ class TestRegistry:
             ("greedy", RandomizedGreedyScheduler),
             ("evolutionary", EvolutionaryScheduler),
             ("exhaustive", ExhaustiveScheduler),
+            ("delta", DeltaScheduler),
         ):
             assert registry.capabilities(KIND_SCHEDULER, name) == cls.capabilities
             assert isinstance(registry.create(KIND_SCHEDULER, name), cls)

@@ -266,3 +266,65 @@ def test_negative_bus_retries_exits_2(capsys):
         == EXIT_UNKNOWN_EXPERIMENT
     )
     assert "--bus-retries" in capsys.readouterr().err
+
+
+def test_unknown_trigger_kind_exits_2_with_known_names(capsys):
+    assert (
+        main(["loadtest", *TINY, "--trigger", "bogus"])
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    err = capsys.readouterr().err
+    assert "unknown trigger" in err
+    assert "adaptive" in err and "count" in err
+
+
+def test_bad_trigger_param_exits_2(capsys):
+    assert (
+        main(
+            ["loadtest", *TINY, "--trigger", "adaptive:target_p95_slices=-3"]
+        )
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    assert "target_p95_slices must be positive" in capsys.readouterr().err
+
+
+def test_malformed_trigger_spec_exits_2(capsys):
+    assert (
+        main(["loadtest", *TINY, "--trigger", "count:threshold"])
+        == EXIT_UNKNOWN_EXPERIMENT
+    )
+    assert "expected 'kind:key=val" in capsys.readouterr().err
+
+
+def test_trigger_specs_compose(capsys):
+    assert (
+        main(
+            [
+                "loadtest", *TINY,
+                "--trigger", "count:threshold=5",
+                "--trigger", "age:max_age_slices=4",
+            ]
+        )
+        == EXIT_OK
+    )
+
+
+def test_delta_scheduler_loadtest_runs(capsys):
+    assert main(["loadtest", *TINY, "--scheduler", "delta"]) == EXIT_OK
+    assert "offers" in capsys.readouterr().out
+
+
+def test_adaptive_target_flag_accepted(capsys):
+    assert (
+        main(["loadtest", *TINY, "--target-p95-slices", "6"]) == EXIT_OK
+    )
+    assert main(
+        ["loadtest", *TINY, "--target-p95-slices", "6", "--brps", "2"]
+    ) == EXIT_OK
+
+
+def test_list_shows_registry_catalogue(capsys):
+    assert main(["--list"]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "scheduler" in out and "delta" in out
+    assert "trigger" in out and "adaptive" in out

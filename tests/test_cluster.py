@@ -336,6 +336,59 @@ class TestTsoRuntimeService:
         assert tso.macro_count == 1
         assert tso._macro_home == {macro_2.offer_id: "brp-0"}
 
+    def test_snapshot_refresh_dirties_only_the_senders_keys(self):
+        from repro.aggregation import aggregate_group
+
+        tso, adapter, driver = self._tso()
+        macro_a = aggregate_group(
+            [flex_offer([(1.0, 2.0)] * 2, earliest_start=4, latest_start=10)]
+        )
+        macro_b = aggregate_group(
+            [flex_offer([(0.5, 1.5)] * 3, earliest_start=40, latest_start=60)]
+        )
+        tso.receive_snapshot("brp-0", (macro_a,))
+        tso.receive_snapshot("brp-1", (macro_b,))
+        tso.maybe_schedule(force=True)
+        assert not tso.session.dirty  # drained by the run
+        keys_b = set(tso._keys_by_brp["brp-1"])
+        assert keys_b
+        # A refreshed snapshot from brp-0 dirties its previous plan keys
+        # and nothing of brp-1's.
+        replacement = aggregate_group(
+            [flex_offer([(1.0, 2.0)] * 2, earliest_start=5, latest_start=11)]
+        )
+        tso.receive_snapshot("brp-0", (replacement,))
+        assert tso.session.dirty
+        assert tso.session.dirty.isdisjoint(keys_b)
+
+    def test_adaptive_cooldown_tightens_after_long_waits(self):
+        from repro.aggregation import aggregate_group
+
+        driver = SimulatedDriver()
+        adapter = BusAdapter(MessageBus(), driver)
+        tso = TsoRuntimeService(
+            TsoConfig(
+                trigger_refreshes=3,
+                min_run_interval_slices=4.0,
+                target_p95_slices=2.0,
+            ),
+            adapter=adapter,
+        )
+        assert tso._cooldown is not None
+        macro = aggregate_group(
+            [flex_offer([(1.0, 2.0)] * 2, earliest_start=4, latest_start=30)]
+        )
+        tso.receive_snapshot("brp-0", (macro,))
+        driver.run_until(20.0)  # the snapshot waits 20 slices before a run
+        tso.run_scheduling()
+        assert tso._cooldown.trigger_refreshes == 2
+        assert tso._cooldown.min_run_interval_slices == 2.0
+        assert (
+            tso.metrics.counter("trigger.adaptive_adjustments").value == 1
+        )
+        # The gate reads the tuned values, not the static config.
+        assert tso.config.trigger_refreshes == 3
+
     def test_rejects_unexpected_message_types(self):
         tso, adapter, driver = self._tso()
         adapter.send("x", tso.name, MessageType.MEASUREMENT, 1, 0)

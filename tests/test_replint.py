@@ -480,6 +480,93 @@ class TestSwallowedException:
 
 
 # ----------------------------------------------------------------------
+# REP009: trigger/cadence state seam
+# ----------------------------------------------------------------------
+class TestTriggerStateWrite:
+    def test_flags_foreign_cadence_write(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "src/repro/ledger/mod.py",
+            """
+            def park(service):
+                service._last_run_time = float("inf")
+            """,
+        )
+        assert rule_ids(findings) == ["REP009"]
+
+    def test_flags_foreign_offer_counter_reset(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "src/repro/api/mod.py",
+            """
+            def reset(client):
+                client.service._offers_since_run = 0
+            """,
+        )
+        assert rule_ids(findings) == ["REP009"]
+
+    def test_own_cadence_write_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "src/repro/runtime/cluster_like.py",
+            """
+            class Node:
+                def run(self):
+                    self._last_run_time = self.now
+                    self._offers_since_run = 0
+            """,
+        )
+        assert findings == []
+
+    def test_flags_threshold_write_outside_triggers(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "src/repro/runtime/mod.py",
+            """
+            def loosen(trigger):
+                trigger.count_threshold = 10_000
+            """,
+        )
+        assert rule_ids(findings) == ["REP009"]
+
+    def test_flags_own_threshold_write_outside_triggers(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "src/repro/runtime/mod.py",
+            """
+            class Policy:
+                def observe(self, metrics):
+                    self.max_age_slices = 1.0
+            """,
+        )
+        assert rule_ids(findings) == ["REP009"]
+
+    def test_threshold_write_inside_triggers_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "src/repro/runtime/triggers.py",
+            """
+            class Policy:
+                def observe(self, metrics):
+                    self.count_threshold = 8
+                    self.trigger_refreshes = 1
+            """,
+        )
+        assert findings == []
+
+    def test_out_of_scope_paths_are_ignored(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "tests/test_mod.py",
+            """
+            def test_park(service):
+                service._last_run_time = float("inf")
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # suppressions
 # ----------------------------------------------------------------------
 class TestSuppressions:

@@ -14,6 +14,8 @@ from repro.core.errors import ServiceError
 from repro.core.timebase import DEFAULT_AXIS
 from repro.datamgmt import LedmsStore
 from repro.runtime import (
+    AdaptiveCooldown,
+    AdaptiveTrigger,
     AgeTrigger,
     AnyTrigger,
     ClockError,
@@ -175,6 +177,20 @@ class TestTriggers:
         assert trigger.fired_names(context) == ["AgeTrigger"]
         assert not trigger.should_fire(self._context())
 
+    def test_fired_names_order_is_construction_order(self):
+        policies = [AgeTrigger(8), CountTrigger(10), ImbalanceTrigger(50.0)]
+        context = self._context(
+            offers_since_last_run=10,
+            oldest_unscheduled_age=9,
+            unscheduled_energy_kwh=60.0,
+        )
+        assert AnyTrigger(policies).fired_names(context) == [
+            "AgeTrigger", "CountTrigger", "ImbalanceTrigger",
+        ]
+        assert AnyTrigger(list(reversed(policies))).fired_names(context) == [
+            "ImbalanceTrigger", "CountTrigger", "AgeTrigger",
+        ]
+
     def test_invalid_thresholds_rejected(self):
         with pytest.raises(ServiceError):
             CountTrigger(0)
@@ -232,6 +248,18 @@ class TestIngest:
         counts = store.state_counts()
         assert counts["expired"] == 1
 
+    def test_flush_exposes_pipeline_dirty_set(self):
+        ingest = self._ingest(batch_size=1)
+        offer = ingest.submit(_offer(10), now=0)
+        ingest.flush(now=0)
+        assert ingest.last_dirty.created
+        group_id = next(iter(ingest.last_dirty.created))
+        ingest.retire([offer], now=20, state="expired")
+        ingest.flush(now=20)
+        assert ingest.last_dirty.deleted == {group_id}
+        ingest.flush(now=21)  # nothing pending: the dirty set drains
+        assert not ingest.last_dirty
+
     def test_retire_flows_deletes_through_pipeline(self):
         ingest = self._ingest(batch_size=1)
         offer = ingest.submit(_offer(10), now=0)
@@ -277,3 +305,169 @@ class TestLoadGenerator:
         a = LoadGenerator(rate_per_hour=20, seed=0, rng=rng).offers(0, 48)
         b = LoadGenerator(rate_per_hour=20, seed=0, rng=np.random.default_rng(123)).offers(0, 48)
         assert [o.earliest_start for o in a] == [o.earliest_start for o in b]
+
+
+class TestAdaptiveTrigger:
+    def _latency(self, metrics, *values):
+        histogram = metrics.histogram("latency.e2e_slices")
+        for value in values:
+            histogram.observe(value)
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            AdaptiveTrigger(0.0)
+        with pytest.raises(ServiceError):
+            AdaptiveTrigger(8.0, count_threshold=0)
+        with pytest.raises(ServiceError):
+            AdaptiveTrigger(8.0, min_count=10, max_count=5)
+        with pytest.raises(ServiceError):
+            AdaptiveTrigger(8.0, tighten_factor=1.0)
+        with pytest.raises(ServiceError):
+            AdaptiveTrigger(8.0, relax_factor=0.9)
+        with pytest.raises(ServiceError):
+            AdaptiveTrigger(8.0, relax_margin=1.5)
+
+    def test_fires_on_count_or_age(self):
+        trigger = AdaptiveTrigger(8.0, count_threshold=10, max_age_slices=4.0)
+        fire = TriggerContext(
+            now=0.0,
+            offers_since_last_run=10,
+            oldest_unscheduled_age=0.0,
+            unscheduled_energy_kwh=0.0,
+        )
+        wait = TriggerContext(
+            now=0.0,
+            offers_since_last_run=9,
+            oldest_unscheduled_age=3.9,
+            unscheduled_energy_kwh=1e9,  # imbalance is not part of the rule
+        )
+        assert trigger.should_fire(fire)
+        assert not trigger.should_fire(wait)
+
+    def test_tightens_when_p95_above_target(self):
+        trigger = AdaptiveTrigger(10.0, count_threshold=100, max_age_slices=8.0)
+        metrics = MetricsRegistry()
+        self._latency(metrics, *[50.0] * 20)
+        record = trigger.observe(metrics)
+        assert record is not None and record["direction"] == "tighten"
+        assert trigger.count_threshold == 50
+        assert trigger.max_age_slices == 4.0
+        assert record["count_threshold"] == {"old": 100, "new": 50}
+        assert record["max_age_slices"] == {"old": 8.0, "new": 4.0}
+
+    def test_stale_histogram_is_not_acted_on(self):
+        trigger = AdaptiveTrigger(10.0, count_threshold=100, max_age_slices=8.0)
+        metrics = MetricsRegistry()
+        assert trigger.observe(metrics) is None  # no observations at all
+        self._latency(metrics, 50.0)
+        assert trigger.observe(metrics) is not None
+        # No new observations since: the cumulative histogram is stale.
+        assert trigger.observe(metrics) is None
+        assert trigger.count_threshold == 50
+
+    def test_in_band_p95_leaves_thresholds_alone(self):
+        trigger = AdaptiveTrigger(10.0, count_threshold=100, max_age_slices=8.0)
+        metrics = MetricsRegistry()
+        self._latency(metrics, 8.0)  # between relax_margin*target and target
+        assert trigger.observe(metrics) is None
+        assert trigger.count_threshold == 100
+
+    def test_relax_is_capped_at_the_rails(self):
+        trigger = AdaptiveTrigger(
+            10.0,
+            count_threshold=100,
+            max_age_slices=8.0,
+            max_count=130,
+            max_age_cap=10.0,
+        )
+        metrics = MetricsRegistry()
+        self._latency(metrics, 1.0)
+        record = trigger.observe(metrics)
+        assert record["direction"] == "relax"
+        assert trigger.count_threshold == 120
+        assert trigger.max_age_slices == pytest.approx(9.6)
+        self._latency(metrics, 1.0)
+        assert trigger.observe(metrics) is not None
+        assert trigger.count_threshold == 130
+        assert trigger.max_age_slices == 10.0
+        self._latency(metrics, 1.0)
+        assert trigger.observe(metrics) is None  # pinned at the rails
+        assert trigger.count_threshold == 130
+
+    def test_tighten_is_floored_at_the_minimums(self):
+        trigger = AdaptiveTrigger(
+            2.0,
+            count_threshold=20,
+            max_age_slices=3.0,
+            min_count=8,
+            min_age_slices=1.0,
+        )
+        metrics = MetricsRegistry()
+        for _ in range(4):
+            self._latency(metrics, 50.0)
+            if trigger.observe(metrics) is None:
+                break
+        assert trigger.count_threshold == 8
+        assert trigger.max_age_slices == 1.0
+        self._latency(metrics, 50.0)
+        assert trigger.observe(metrics) is None  # pinned at the floors
+
+
+class TestAdaptiveCooldown:
+    def _waits(self, metrics, *values):
+        histogram = metrics.histogram("tso.refresh_wait_slices")
+        for value in values:
+            histogram.observe(value)
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            AdaptiveCooldown(0.0, trigger_refreshes=2, min_run_interval_slices=1.0)
+        with pytest.raises(ServiceError):
+            AdaptiveCooldown(4.0, trigger_refreshes=0, min_run_interval_slices=1.0)
+        with pytest.raises(ServiceError):
+            AdaptiveCooldown(4.0, trigger_refreshes=2, min_run_interval_slices=-1.0)
+
+    def test_tighten_reduces_refreshes_and_snaps_small_intervals(self):
+        cooldown = AdaptiveCooldown(
+            4.0, trigger_refreshes=3, min_run_interval_slices=0.4
+        )
+        metrics = MetricsRegistry()
+        self._waits(metrics, 20.0)
+        record = cooldown.observe(metrics)
+        assert record["direction"] == "tighten"
+        assert cooldown.trigger_refreshes == 2
+        # 0.4 * 0.5 < 0.25: snaps to "no cooldown" instead of asymptoting.
+        assert cooldown.min_run_interval_slices == 0.0
+        self._waits(metrics, 20.0)
+        assert cooldown.observe(metrics) is not None
+        assert cooldown.trigger_refreshes == 1
+        self._waits(metrics, 20.0)
+        assert cooldown.observe(metrics) is None  # fully tight already
+
+    def test_relax_recovers_toward_configured_rails_only(self):
+        cooldown = AdaptiveCooldown(
+            10.0, trigger_refreshes=3, min_run_interval_slices=2.0
+        )
+        tight = MetricsRegistry()
+        self._waits(tight, 50.0)
+        assert cooldown.observe(tight)["direction"] == "tighten"
+        assert (cooldown.trigger_refreshes, cooldown.min_run_interval_slices) == (2, 1.0)
+        relaxed = MetricsRegistry()
+        self._waits(relaxed, 1.0, 1.0)
+        assert cooldown.observe(relaxed)["direction"] == "relax"
+        assert cooldown.trigger_refreshes == 3  # back at the configured rail
+        assert cooldown.min_run_interval_slices == pytest.approx(1.2)
+        self._waits(relaxed, 1.0)
+        record = cooldown.observe(relaxed)
+        assert record["trigger_refreshes"] == {"old": 3, "new": 3}
+        assert cooldown.min_run_interval_slices == pytest.approx(1.44)
+
+    def test_stale_histogram_is_not_acted_on(self):
+        cooldown = AdaptiveCooldown(
+            4.0, trigger_refreshes=2, min_run_interval_slices=1.0
+        )
+        metrics = MetricsRegistry()
+        assert cooldown.observe(metrics) is None
+        self._waits(metrics, 20.0)
+        assert cooldown.observe(metrics) is not None
+        assert cooldown.observe(metrics) is None  # no new waits since

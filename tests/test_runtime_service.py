@@ -9,10 +9,13 @@ driving every stage (ingest → incremental aggregation → triggered scheduling
 import numpy as np
 import pytest
 
+from repro.aggregation import DirtySet
 from repro.core import flex_offer
 from repro.core.errors import ServiceError
+from repro.runtime.planning import PlanSession
 from repro.runtime import (
     AgeTrigger,
+    ServiceConfig,
     AnyTrigger,
     BrpRuntimeService,
     CountTrigger,
@@ -330,3 +333,118 @@ class TestNetForecastWindow:
         assert window.values[50] == 0.0
         # No forecast at all: all-zero window.
         assert net_forecast_window(None, 0, 8).values.sum() == 0.0
+
+
+class TestPlanSession:
+    def test_warm_candidate_none_for_all_new_pool(self):
+        session = PlanSession()
+        assert session.warm_candidate([("a", _offer(2))]) is None
+
+    def test_warm_candidate_duration_mismatch_falls_back_to_default(self):
+        session = PlanSession()
+        session.warm["a"] = (3, np.array([1.5, 1.5, 1.5]))
+        shrunk = _offer(2, duration=2)
+        # A lone mismatched prior leaves no warm content at all.
+        assert session.warm_candidate([("a", shrunk)]) is None
+        # Next to a usable prior, the mismatch falls back to the
+        # earliest-start / minimum-energy default placement.
+        session.warm["b"] = (4, np.array([1.2, 1.2]))
+        candidate = session.warm_candidate(
+            [("a", shrunk), ("b", _offer(2, duration=2))]
+        )
+        assert candidate is not None
+        assert candidate.starts[0] == shrunk.earliest_start
+        assert np.array_equal(
+            candidate.energies[0], shrunk.profile.min_energies()
+        )
+        assert candidate.starts[1] == 4
+        assert np.array_equal(candidate.energies[1], [1.2, 1.2])
+
+    def test_warm_candidate_clips_into_current_window_and_bounds(self):
+        session = PlanSession()
+        offer = _offer(6, tf=4, duration=2, lo=1.0, hi=2.0)
+        session.warm["a"] = (0, np.array([9.0, 9.0]))
+        candidate = session.warm_candidate([("a", offer)])
+        assert candidate.starts[0] == offer.earliest_start  # clipped up
+        assert np.array_equal(candidate.energies[0], [2.0, 2.0])
+        session.warm["a"] = (30, np.array([0.0, 0.0]))
+        candidate = session.warm_candidate([("a", offer)])
+        assert candidate.starts[0] == offer.latest_start  # clipped down
+        assert np.array_equal(candidate.energies[0], [1.0, 1.0])
+
+    def test_absorb_accumulates_dirt_and_evicts_deleted(self):
+        session = PlanSession()
+        session.warm["gone"] = (0, np.array([1.0]))
+        session.warm["kept"] = (2, np.array([1.0]))
+        session.absorb(
+            DirtySet(
+                created=frozenset({"new"}),
+                changed=frozenset({"kept"}),
+                deleted=frozenset({"gone"}),
+            )
+        )
+        assert session.dirty == {"new", "kept", "gone"}
+        assert "gone" not in session.warm and "kept" in session.warm
+
+
+class TestDeltaSchedulerService:
+    def _config(self):
+        return ServiceConfig.from_flat(
+            batch_size=8,
+            scheduler="delta",
+            scheduler_passes=1,
+            trigger=AnyTrigger([CountTrigger(20), AgeTrigger(8)]),
+            min_run_interval_slices=0.0,
+            seed=0,
+        )
+
+    def test_clean_rerun_reuses_every_group(self):
+        service = BrpRuntimeService(self._config())
+        # Spread starts widely so aggregation builds several groups; one
+        # later insert then dirties a small fraction of the pool (below the
+        # scheduler's full-pass fallback threshold).
+        for est in (8, 16, 24, 32, 40, 48, 56, 64):
+            for duration in (1, 3):
+                assert service.submit(_offer(est, tf=6, duration=duration))
+        service.run_aggregation()
+        assert service.maybe_schedule(force=True) is not None
+        assert service.session.last_mode == "full"
+        n_groups = len(service.session.warm)
+        assert n_groups > 0
+        # Nothing changed since: the re-run is a pure delta pass.
+        assert service.maybe_schedule(force=True) is not None
+        assert service.session.last_mode == "delta"
+        assert service.session.last_reused == n_groups
+        assert service.session.last_replaced == 0
+        # One new offer dirties only the group it lands in.
+        assert service.submit(_offer(70, tf=6))
+        service.run_aggregation()
+        assert service.maybe_schedule(force=True) is not None
+        assert service.session.last_mode == "delta"
+        assert service.session.last_replaced >= 1
+        assert service.session.last_reused >= n_groups - 1
+        assert service.metrics.counter("delta.runs").value == 2
+        assert service.metrics.counter("delta.full_fallbacks").value == 1
+        assert service.metrics.counter("delta.reused_placements").value > 0
+
+    def test_streamed_delta_run_matches_invariants(self):
+        service, report = _run(duration=48, config=self._config())
+        assert report.offers_accepted > 0
+        runs = service.metrics.counter("delta.runs").value
+        fallbacks = service.metrics.counter("delta.full_fallbacks").value
+        assert runs + fallbacks == service.metrics.counter("schedule.runs").value
+        schedule = service.last_schedule
+        assert schedule is not None
+        for assignment in schedule:
+            offer = assignment.offer
+            assert offer.earliest_start <= assignment.start <= offer.latest_start
+            for energy, constraint in zip(assignment.energies, offer.profile):
+                assert constraint.contains(energy)
+
+    def test_schedule_run_seconds_alias_tracks_stage_timer(self):
+        service, _ = _run(duration=48, config=self._config())
+        runs = service.metrics.histogram("schedule.run_seconds").count
+        stage = service.metrics.histogram(
+            "stage.wall_seconds", labels={"brp": service.name, "stage": "schedule"}
+        )
+        assert runs > 0 and stage.count == runs

@@ -15,6 +15,8 @@ from repro.core import TimeSeries, flex_offer
 from repro.runtime import BrpRuntimeService, LoadGenerator, RuntimeConfig
 from repro.scheduling import (
     CandidateSolution,
+    DeltaRequest,
+    DeltaScheduler,
     IncrementalCostState,
     Market,
     RandomizedGreedyScheduler,
@@ -289,3 +291,306 @@ class TestPackedOffers:
         )
         assert np.array_equal(packing.slice_indices(members), expected)
         assert packing.slice_indices(np.zeros(0, dtype=np.int64)).size == 0
+
+
+class _DeltaOracle:
+    """From-scratch replay of the delta scheduler's arithmetic contract.
+
+    Independent bookkeeping of the retained plan across runs; every run
+    rebuilds the incremental state canonically (zero seed + retained adds
+    in index order, one vector add onto the forecast, dirty placements in
+    index order, re-priced final cost).  The scheduler must reproduce this
+    bit for bit — including the full-pass fallbacks, which are just the
+    degenerate empty-retained case.
+    """
+
+    def __init__(self, *, full_fraction=0.25, full_on_window_shift=False):
+        self.full_fraction = full_fraction
+        self.full_on_window_shift = full_on_window_shift
+        self.plan: dict = {}
+        self.window = None
+
+    def run(self, problem, keys, dirty):
+        consts = problem.offer_constants
+        n = problem.offer_count
+        h0 = problem.horizon_start
+        mode = "delta"
+        if not self.plan:
+            mode = "full"
+        elif (
+            self.full_on_window_shift
+            and self.window is not None
+            and h0 != self.window
+        ):
+            mode = "full"
+        retained: dict = {}
+        if mode == "delta":
+            for j, key in enumerate(keys):
+                prior = self.plan.get(key)
+                if key in dirty or prior is None:
+                    continue
+                start, energies = prior
+                c = consts[j]
+                if (
+                    len(energies) == c.duration
+                    and c.earliest_start <= start <= c.latest_start
+                    and np.all(energies >= c.lo)
+                    and np.all(energies <= c.hi)
+                ):
+                    retained[j] = prior
+            if n and (n - len(retained)) / n > self.full_fraction:
+                mode = "full"
+                retained = {}
+        seed = np.zeros(problem.horizon_length)
+        for j in sorted(retained):
+            start, energies = retained[j]
+            seed[start - h0 : start - h0 + len(energies)] += energies
+        state = IncrementalCostState(
+            problem.engine, problem.net_forecast.values + seed
+        )
+        starts = np.zeros(n, dtype=np.int64)
+        energies_out = [None] * n
+        for j in range(n):
+            if j in retained:
+                starts[j], energies_out[j] = retained[j]
+        for j in range(n):
+            if j in retained:
+                continue
+            c = consts[j]
+            index, energy, cost_delta = state.best_placement(c)
+            starts[j] = c.earliest_start + index
+            energies_out[j] = energy
+            state.place(c.earliest_index + index, energy, cost_delta)
+        compensation = 0.0
+        for j in range(n):
+            compensation += consts[j].flex_cost(energies_out[j])
+        cost = problem.engine.total_cost(state.residual) + compensation
+        self.plan = {
+            keys[j]: (int(starts[j]), energies_out[j]) for j in range(n)
+        }
+        self.window = h0
+        return starts, energies_out, cost, mode
+
+
+def _random_pool_offer(rng, horizon, h0=0):
+    duration = int(rng.integers(1, min(5, horizon) + 1))
+    earliest = h0 + int(rng.integers(0, horizon - duration + 1))
+    latest = h0 + int(rng.integers(earliest - h0, horizon - duration + 1))
+    kind = rng.random()
+    if kind < 0.4:
+        lo = rng.uniform(0.0, 2.0, duration)
+    elif kind < 0.8:
+        lo = rng.uniform(-4.0, -1.0, duration)
+    else:
+        lo = rng.uniform(-2.0, 0.0, duration)
+    hi = lo + rng.uniform(0.0, 3.0, duration)
+    return flex_offer(
+        list(zip(lo, hi)),
+        earliest_start=earliest,
+        latest_start=latest,
+        unit_price=float(rng.choice([0.0, rng.uniform(0.0, 0.1)])),
+    )
+
+
+class TestDeltaScheduler:
+    """Bit-parity of dirty-set re-planning against the from-scratch oracle."""
+
+    def _pool_problem(self, pool, net_series, market, rng):
+        keys = tuple(sorted(pool))
+        problem = SchedulingProblem(
+            net_series,
+            tuple(pool[key] for key in keys),
+            market,
+            shortage_penalty=np.array(0.8),
+            surplus_penalty=np.array(0.4),
+        )
+        return keys, problem
+
+    def test_oracle_parity_random_mixed_updates(self):
+        """200 random pools x 4 rounds of mutate/delete/add updates.
+
+        Every committed start, energy vector and cost must equal the
+        oracle's bit for bit — and when dirt pushes the scheduler over
+        ``full_fraction`` mid-history, the fallback full pass must equal a
+        forced full re-plan by a fresh scheduler on the same problem.
+        """
+        rng = np.random.default_rng(42)
+        delta_rounds = 0
+        fallback_rounds = 0
+        for _ in range(N_RANDOM_PROBLEMS):
+            horizon = int(rng.integers(16, 40))
+            net_series = TimeSeries(0, rng.uniform(-20.0, 20.0, horizon))
+            buy = rng.uniform(0.05, 0.6, horizon)
+            market = Market(buy, buy - rng.uniform(0.0, 0.5, horizon))
+            fresh = iter(range(10_000))
+            pool = {
+                f"g{next(fresh):04d}": _random_pool_offer(rng, horizon)
+                for _ in range(int(rng.integers(3, 9)))
+            }
+            scheduler = DeltaScheduler()
+            oracle = _DeltaOracle()
+            for round_no in range(4):
+                dirty = set()
+                if round_no:
+                    for key in list(pool):
+                        roll = rng.random()
+                        if roll < 0.15 and len(pool) > 1:
+                            del pool[key]
+                        elif roll < 0.40:
+                            pool[key] = _random_pool_offer(rng, horizon)
+                            dirty.add(key)
+                    for _ in range(int(rng.integers(0, 3))):
+                        key = f"g{next(fresh):04d}"
+                        pool[key] = _random_pool_offer(rng, horizon)
+                        dirty.add(key)
+                keys, problem = self._pool_problem(
+                    pool, net_series, market, rng
+                )
+                result = scheduler.schedule(
+                    problem,
+                    delta=DeltaRequest(
+                        keys=keys,
+                        dirty=frozenset(dirty),
+                        window_start=problem.horizon_start,
+                    ),
+                )
+                starts, energies, cost, mode = oracle.run(
+                    problem, keys, dirty
+                )
+                assert scheduler.last_stats["mode"] == mode
+                assert np.array_equal(result.solution.starts, starts)
+                for got, want in zip(result.solution.energies, energies):
+                    assert np.array_equal(got, want)
+                assert result.cost == cost
+                if mode == "delta":
+                    delta_rounds += 1
+                elif round_no:
+                    fallback_rounds += 1
+                    forced = DeltaScheduler().schedule(problem)
+                    assert np.array_equal(
+                        forced.solution.starts, result.solution.starts
+                    )
+                    for got, want in zip(
+                        forced.solution.energies, result.solution.energies
+                    ):
+                        assert np.array_equal(got, want)
+                    assert forced.cost == result.cost
+        # The history generator must actually exercise both regimes.
+        assert delta_rounds > 100
+        assert fallback_rounds > 20
+
+    def test_window_shift_forces_full_pass_when_enabled(self):
+        rng = np.random.default_rng(7)
+        pool = {
+            f"g{j}": _random_pool_offer(rng, 16, h0=6) for j in range(6)
+        }
+        market = Market.flat(24)
+
+        def problem_at(h0):
+            keys = tuple(sorted(pool))
+            return keys, SchedulingProblem(
+                TimeSeries(h0, rng.uniform(-5.0, 5.0, 24)),
+                tuple(pool[key] for key in keys),
+                market,
+            )
+
+        for shift_full, expected in ((True, "full"), (False, "delta")):
+            scheduler = DeltaScheduler(full_on_window_shift=shift_full)
+            oracle = _DeltaOracle(full_on_window_shift=shift_full)
+            for h0 in (0, 4):
+                keys, problem = problem_at(h0)
+                result = scheduler.schedule(
+                    problem,
+                    delta=DeltaRequest(
+                        keys=keys, dirty=frozenset(), window_start=h0
+                    ),
+                )
+                starts, energies, cost, mode = oracle.run(
+                    problem, keys, set()
+                )
+                assert scheduler.last_stats["mode"] == mode
+                assert np.array_equal(result.solution.starts, starts)
+                assert result.cost == cost
+            assert scheduler.last_stats["mode"] == expected
+
+    def test_undirtied_shape_change_is_evicted(self):
+        """A clean key whose offer changed shape is re-placed, not reused.
+
+        The dirty set is advisory; the retained-placement feasibility check
+        (duration, start window, energy bounds) is the backstop.
+        """
+        horizon = 24
+        net_series = TimeSeries(0, np.full(horizon, 3.0))
+        market = Market.flat(horizon)
+        pool = {
+            "a": flex_offer([(1.0, 2.0)] * 2, earliest_start=2, latest_start=10),
+            "b": flex_offer([(0.5, 1.5)] * 3, earliest_start=0, latest_start=8),
+            "c": flex_offer([(1.0, 1.0)], earliest_start=5, latest_start=20),
+            "d": flex_offer([(0.2, 0.9)] * 2, earliest_start=1, latest_start=12),
+            "e": flex_offer([(0.1, 0.4)] * 4, earliest_start=3, latest_start=15),
+        }
+        scheduler = DeltaScheduler(full_fraction=1.0)
+        oracle = _DeltaOracle(full_fraction=1.0)
+
+        def run(dirty):
+            keys = tuple(sorted(pool))
+            problem = SchedulingProblem(
+                net_series, tuple(pool[k] for k in keys), market
+            )
+            result = scheduler.schedule(
+                problem,
+                delta=DeltaRequest(
+                    keys=keys, dirty=frozenset(dirty), window_start=0
+                ),
+            )
+            starts, energies, cost, mode = oracle.run(problem, keys, dirty)
+            assert np.array_equal(result.solution.starts, starts)
+            assert result.cost == cost
+            return result
+
+        run(set())
+        # Duration change on "a", window change on "c", bounds change on
+        # "d" — none marked dirty; all three must still be re-placed.
+        pool["a"] = flex_offer(
+            [(1.0, 2.0)] * 3, earliest_start=2, latest_start=10
+        )
+        pool["c"] = flex_offer([(1.0, 1.0)], earliest_start=15, latest_start=20)
+        pool["d"] = flex_offer(
+            [(2.5, 3.0)] * 2, earliest_start=1, latest_start=12
+        )
+        run(set())
+        assert scheduler.last_stats["mode"] == "delta"
+        assert scheduler.last_stats["replaced"] == 3
+        assert scheduler.last_stats["reused"] == 2
+
+    def test_validation_and_reset(self):
+        with pytest.raises(ValueError):
+            DeltaScheduler(full_fraction=0.0)
+        with pytest.raises(ValueError):
+            DeltaScheduler(full_fraction=1.5)
+        problem = random_problem(np.random.default_rng(3))
+        scheduler = DeltaScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule(
+                problem,
+                delta=DeltaRequest(
+                    keys=("k",) * (problem.offer_count + 1),
+                    dirty=frozenset(),
+                    window_start=0,
+                ),
+            )
+        keys = tuple(f"k{j}" for j in range(problem.offer_count))
+        request = DeltaRequest(
+            keys=keys, dirty=frozenset(), window_start=problem.horizon_start
+        )
+        scheduler.schedule(problem, delta=request)
+        assert scheduler.last_stats["mode"] == "full"
+        scheduler.schedule(problem, delta=request)
+        assert scheduler.last_stats["mode"] == "delta"
+        assert scheduler.last_stats["reused"] == problem.offer_count
+        scheduler.reset()
+        scheduler.schedule(problem, delta=request)
+        assert scheduler.last_stats["mode"] == "full"
+        # Without a request every call is a full pass, even with a plan.
+        scheduler.schedule(problem)
+        assert scheduler.last_stats["mode"] == "full"

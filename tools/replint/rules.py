@@ -560,6 +560,70 @@ class SwallowedExceptionRule(Rule):
         )
 
 
+class TriggerStateWriteRule(Rule):
+    """REP009: scheduling cadence state mutates only behind its owning seam.
+
+    Two families of state drive the closed loop and must have exactly one
+    writer each:
+
+    * a service's run cadence (``_last_run_time`` / ``_offers_since_run``)
+      belongs to the service itself — outside callers go through
+      ``BrpRuntimeService.scheduling_suspended()`` instead of reaching in
+      (a raw write silently disarms or re-arms the trigger cooldown);
+    * adaptive trigger thresholds (``count_threshold`` / ``max_age_slices``
+      / ``trigger_refreshes`` / ``min_run_interval_slices`` as *attribute*
+      targets) change only inside the controllers' ``observe`` seam in
+      ``runtime/triggers.py`` — anywhere else and the control loop's
+      adjustment events no longer tell the truth.
+    """
+
+    rule_id = "REP009"
+    title = "trigger/cadence state written outside its owning seam"
+    scope = ("src/repro/",)
+
+    _CADENCE = frozenset({"_last_run_time", "_offers_since_run"})
+    _THRESHOLDS = frozenset(
+        {
+            "count_threshold",
+            "max_age_slices",
+            "trigger_refreshes",
+            "min_run_interval_slices",
+        }
+    )
+    _THRESHOLD_HOME = "runtime/triggers.py"
+
+    def check(self, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        in_triggers = ctx.rel.endswith(self._THRESHOLD_HOME)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                owner_is_self = (
+                    isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                )
+                if target.attr in self._CADENCE and not owner_is_self:
+                    yield (
+                        target,
+                        f"write to another object's {target.attr!r} "
+                        "bypasses its trigger-cadence seam; use "
+                        "scheduling_suspended() (or a method on the owner)",
+                    )
+                elif target.attr in self._THRESHOLDS and not in_triggers:
+                    yield (
+                        target,
+                        f"trigger threshold {target.attr!r} assigned outside "
+                        "runtime/triggers.py; thresholds change only inside "
+                        "the adaptive controllers' observe() seam",
+                    )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     TracerGuardRule(),
     EventKindRule(),
@@ -569,6 +633,7 @@ ALL_RULES: tuple[Rule, ...] = (
     JournalFirstRule(),
     MessageTraceKeywordRule(),
     SwallowedExceptionRule(),
+    TriggerStateWriteRule(),
 )
 
 
